@@ -1,0 +1,259 @@
+"""Ablations: quantify the design choices DESIGN.md calls out.
+
+Each ablation removes or perturbs one Direct-pNFS mechanism and
+measures the consequence the paper attributes to it:
+
+* **accurate layouts** — Direct-pNFS vs a 2-tier system configured with
+  the *same* stripe unit as PVFS2 (so only data locality differs, no
+  block-size mismatch): the cost of blind layouts alone.
+* **block-size mismatch** — 2-tier with matched vs mismatched stripe
+  units (§3.4.1).
+* **client write-back cache** — 8 KB writes with wsize reduced to the
+  application block size (no coalescing) vs the paper's 2 MB wsize.
+* **readahead** — 8 KB sequential reads with prefetch disabled.
+* **loopback conduit tax** — warm-cache reads with the conduit copy
+  cost removed: the Figure 7b crossover disappears.
+* **commit through the MDS** — OLTP with COMMIT routed through the
+  metadata server instead of the data servers.
+* **metadata sync** — Postmark with PVFS2's synchronous metadata
+  journalling disabled.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import run_cell
+from repro.cluster.configs import build_direct_pnfs, build_pnfs_2tier
+from repro.cluster.testbed import Testbed
+from repro.core.system import DirectPnfsSystem
+from repro.pvfs2.system import Pvfs2System
+from repro.workloads import IorWorkload, OltpWorkload, PostmarkWorkload
+
+MB = 1024 * 1024
+SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+
+
+def run_deployment(dep, workload, n_clients):
+    """Run a workload over an already-built deployment."""
+    tb = dep.testbed
+    sim = tb.sim
+    admin = dep.make_client(tb.client_nodes[0])
+
+    def prep():
+        yield from admin.mount()
+        yield from workload.prepare(sim, admin, n_clients)
+
+    sim.run(until=sim.process(prep()))
+    clients = [dep.make_client(tb.client_nodes[i]) for i in range(n_clients)]
+
+    def mounts():
+        for c in clients:
+            yield from c.mount()
+
+    sim.run(until=sim.process(mounts()))
+    t0 = sim.now
+    procs = [
+        sim.process(workload.client_proc(sim, c, i, n_clients))
+        for i, c in enumerate(clients)
+    ]
+    sim.run(until=sim.all_of(procs))
+    total = sum(p.value.bytes_moved for p in procs)
+    return total / 1e6 / (sim.now - t0)
+
+
+def test_ablation_accurate_layouts(benchmark):
+    """Blind layouts (2-tier, matched stripes) vs the layout translator.
+
+    With the stripe unit matched, the ONLY difference from Direct-pNFS
+    is whether the layout reflects where the bytes actually live.  The
+    synthetic provider's per-file rotation could accidentally line up
+    with PVFS2's own rotation, so it is offset by one here: every
+    stripe lands one data server away from its data — the fully
+    indirect case of Figure 3b.
+    """
+    out = {}
+
+    def once():
+        w = IorWorkload(op="read", block_size=4 * MB, scale=SCALE)
+        direct = run_deployment(
+            build_direct_pnfs(Testbed(n_clients=8)), w, 8
+        )
+        w = IorWorkload(op="read", block_size=4 * MB, scale=SCALE)
+        blind_dep = build_pnfs_2tier(Testbed(n_clients=8), stripe_unit=2 * MB)
+        blind_dep.servers[-1].layout_provider._issued = 1  # break alignment
+        blind = run_deployment(blind_dep, w, 8)
+        out.update(direct=direct, blind=blind)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\naccurate layouts: direct {out['direct']:.0f} MB/s vs "
+        f"blind-but-matched {out['blind']:.0f} MB/s "
+        f"({out['direct'] / out['blind']:.2f}x from direct access alone)"
+    )
+    assert out["direct"] > 1.2 * out["blind"]
+
+
+def test_ablation_block_size_mismatch(benchmark):
+    """2-tier with matched vs mismatched stripe units (§3.4.1)."""
+    out = {}
+
+    def once():
+        w = IorWorkload(op="write", block_size=4 * MB, scale=SCALE)
+        matched = run_deployment(
+            build_pnfs_2tier(Testbed(n_clients=4), stripe_unit=2 * MB), w, 4
+        )
+        w = IorWorkload(op="write", block_size=4 * MB, scale=SCALE)
+        mismatched = run_deployment(
+            build_pnfs_2tier(Testbed(n_clients=4), stripe_unit=1 * MB), w, 4
+        )
+        out.update(matched=matched, mismatched=mismatched)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\nblock-size mismatch: matched {out['matched']:.0f} MB/s vs "
+        f"mismatched {out['mismatched']:.0f} MB/s"
+    )
+    assert out["matched"] >= 0.95 * out["mismatched"]
+
+
+def test_ablation_write_back_cache(benchmark):
+    """8 KB writes with and without the write-back cache (Figure 6d).
+
+    "Without" means synchronous small writes (wsize = the block size
+    and durability per block, O_SYNC-style) — asynchronous batching
+    would otherwise hide most of the per-RPC cost and understate what
+    the cache buys.
+    """
+    out = {}
+
+    def once():
+        out["with"] = run_cell(
+            "direct-pnfs", IorWorkload(op="write", block_size=8192, scale=SCALE), 4
+        ).aggregate_mbps
+        out["without"] = run_cell(
+            "direct-pnfs",
+            IorWorkload(
+                op="write", block_size=8192, fsync_every=1, scale=SCALE * 0.05
+            ),
+            4,
+            nfs_overrides={"wsize": 8192},
+        ).aggregate_mbps
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\nwrite-back coalescing: cached {out['with']:.0f} MB/s vs "
+        f"synchronous 8KB {out['without']:.0f} MB/s"
+    )
+    assert out["with"] > 2 * out["without"]
+
+
+def test_ablation_readahead(benchmark):
+    """8 KB sequential reads with and without prefetch (Figure 7c's cause)."""
+    out = {}
+
+    def once():
+        out["with"] = run_cell(
+            "direct-pnfs", IorWorkload(op="read", block_size=8192, scale=SCALE), 4
+        ).aggregate_mbps
+        out["without"] = run_cell(
+            "direct-pnfs",
+            IorWorkload(op="read", block_size=8192, scale=SCALE * 0.2),
+            4,
+            nfs_overrides={"readahead": 0, "rsize": 8192},
+        ).aggregate_mbps
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\nreadahead: on {out['with']:.0f} MB/s vs off {out['without']:.0f} MB/s"
+    )
+    assert out["with"] > 2 * out["without"]
+
+
+def test_ablation_loopback_tax(benchmark):
+    """The conduit copy cost is what lets PVFS2 win Figure 7b's top end."""
+    out = {}
+
+    def once():
+        w = IorWorkload(op="read", block_size=4 * MB, shared_file=True, scale=SCALE)
+        tb = Testbed(n_clients=8)
+        pvfs = Pvfs2System(tb.sim, tb.storage_nodes)
+        from repro.cluster.testbed import default_nfs_config
+
+        taxed = DirectPnfsSystem(tb.sim, pvfs, default_nfs_config())
+        out["taxed"] = run_deployment(
+            _as_deployment(taxed, tb), w, 8
+        )
+        w = IorWorkload(op="read", block_size=4 * MB, shared_file=True, scale=SCALE)
+        tb2 = Testbed(n_clients=8)
+        pvfs2sys = Pvfs2System(tb2.sim, tb2.storage_nodes)
+        free = DirectPnfsSystem(
+            tb2.sim, pvfs2sys, default_nfs_config(), loopback_copy_per_byte=0.0
+        )
+        for ds in free.data_servers:
+            ds.rpc.costs = ds.cfg.costs  # drop read-extra too
+        out["free"] = run_deployment(_as_deployment(free, tb2), w, 8)
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\nloopback tax: default {out['taxed']:.0f} MB/s vs "
+        f"zero-copy conduit {out['free']:.0f} MB/s"
+    )
+    assert out["free"] > out["taxed"]
+
+
+def _as_deployment(system, tb):
+    from repro.cluster.configs import Deployment
+
+    return Deployment(
+        label="direct-ablation",
+        testbed=tb,
+        make_client=system.make_client,
+        pvfs=system.pvfs,
+        servers=system.data_servers + [system.mds],
+    )
+
+
+def test_ablation_commit_through_mds(benchmark):
+    """OLTP with COMMIT recentralised at the MDS vs at the data servers."""
+    out = {}
+
+    def once():
+        for label, through_mds in (("ds", False), ("mds", True)):
+            tb = Testbed(n_clients=4)
+            pvfs = Pvfs2System(tb.sim, tb.storage_nodes)
+            from repro.cluster.testbed import default_nfs_config
+
+            system = DirectPnfsSystem(tb.sim, pvfs, default_nfs_config())
+            system.translator.commit_through_mds = through_mds
+            out[label] = run_deployment(
+                _as_deployment(system, tb), OltpWorkload(scale=SCALE * 0.1), 4
+            )
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\ncommit path: data servers {out['ds']:.1f} MB/s vs "
+        f"through MDS {out['mds']:.1f} MB/s"
+    )
+    assert out["ds"] >= 0.9 * out["mds"]
+
+
+def test_ablation_metadata_sync(benchmark):
+    """Postmark with PVFS2's synchronous metadata journalling disabled."""
+    out = {}
+
+    def once():
+        for label, sync in (("sync", None), ("nosync", {"metadata_sync": False})):
+            r = run_cell(
+                "pvfs2",
+                PostmarkWorkload(scale=SCALE),
+                4,
+                pvfs_overrides={"stripe_size": 64 * 1024, **(sync or {})},
+            )
+            out[label] = r.transactions_per_second
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print(
+        f"\nmetadata sync: on {out['sync']:.1f} tps vs off {out['nosync']:.1f} tps"
+    )
+    assert out["nosync"] > out["sync"]

@@ -1,0 +1,31 @@
+"""Figure 6: aggregate write throughput across the five architectures."""
+
+
+def test_fig6a_write_separate_large_block(run_panel):
+    """Separate 500 MB files, 2-4 MB blocks: Direct-pNFS matches PVFS2's
+    disk-bound ceiling; 3-tier plateaus early; NFSv4 flat and lowest."""
+    run_panel("fig6a")
+
+
+def test_fig6b_write_single_file_large_block(run_panel):
+    """Disjoint portions of one file: same ordering as 6a at a slightly
+    lower ceiling."""
+    run_panel("fig6b")
+
+
+def test_fig6c_write_100mbps(run_panel):
+    """100 Mbps Ethernet exposes pNFS-2tier's inter-server transfers:
+    half the throughput of Direct-pNFS/PVFS2."""
+    run_panel("fig6c")
+
+
+def test_fig6d_write_separate_8kb(run_panel):
+    """8 KB application blocks: the NFSv4 client write-back cache keeps
+    every NFS-based curve at its large-block level while PVFS2
+    collapses to ~1/3."""
+    run_panel("fig6d")
+
+
+def test_fig6e_write_single_8kb(run_panel):
+    """Single-file variant of 6d."""
+    run_panel("fig6e")

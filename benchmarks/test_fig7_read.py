@@ -1,0 +1,24 @@
+"""Figure 7: aggregate read throughput (warm server cache)."""
+
+
+def test_fig7a_read_separate_large_block(run_panel):
+    """Direct-pNFS matches PVFS2 and scales ~4-5x beyond single-server
+    NFSv4; the indirect tiers are bandwidth-limited."""
+    run_panel("fig7a")
+
+
+def test_fig7b_read_single_file_large_block(run_panel):
+    """Single file: PVFS2 edges past Direct-pNFS at the top client count
+    (data servers pay the loopback-conduit CPU tax)."""
+    run_panel("fig7b")
+
+
+def test_fig7c_read_separate_8kb(run_panel):
+    """8 KB blocks: page cache + readahead keep NFS-based curves at
+    their large-block level; PVFS2 collapses by ~10x."""
+    run_panel("fig7c")
+
+
+def test_fig7d_read_single_8kb(run_panel):
+    """Single-file variant of 7c."""
+    run_panel("fig7d")

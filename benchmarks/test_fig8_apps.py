@@ -1,0 +1,25 @@
+"""Figure 8: scientific applications and synthetic macro-benchmarks."""
+
+
+def test_fig8a_atlas(run_panel):
+    """ATLAS digitization mix (95% small requests, 95% of bytes large):
+    Direct-pNFS loses ~14% off its peak, PVFS2 drops to ~41%."""
+    run_panel("fig8a")
+
+
+def test_fig8b_btio(run_panel):
+    """BTIO class A runtimes comparable; Direct-pNFS ~5% slower at nine
+    clients (PVFS2 buffer-pool effect)."""
+    run_panel("fig8b")
+
+
+def test_fig8c_oltp(run_panel):
+    """8 KB read-modify-write with per-transaction durability:
+    Direct-pNFS several times PVFS2's throughput."""
+    run_panel("fig8c")
+
+
+def test_fig8d_postmark(run_panel):
+    """Small-file transactions: Direct-pNFS an order of magnitude (paper:
+    up to 36x) more transactions per second than PVFS2."""
+    run_panel("fig8d")

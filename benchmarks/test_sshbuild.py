@@ -1,0 +1,10 @@
+"""§6.4.3 in-text result: the SSH-build phase split.
+
+Direct-pNFS reduces compilation time (small read/write dominated) but
+increases uncompress and configure time (creates and attribute updates,
+which NFS recentralises at its metadata server).
+"""
+
+
+def test_sshbuild_phase_split(run_panel):
+    run_panel("sshbuild")

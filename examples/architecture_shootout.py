@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Architecture shootout: a miniature Figure 6a/7a.
+
+Runs the IOR micro-benchmark (sequential separate-file streams, large
+blocks) over all five architectures at several client counts and prints
+write and read throughput tables next to the paper's reported values —
+the core comparison of the paper in one script.
+
+Run:  python examples/architecture_shootout.py  [scale]
+      (default scale 0.1; expect a few minutes at 0.25+)
+"""
+
+import sys
+
+from repro.bench.experiments import run_experiment
+from repro.bench.report import format_table, shape_checks
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    for exp_id in ("fig6a", "fig7a"):
+        result = run_experiment(exp_id, scale=scale, client_counts=[1, 2, 4, 8])
+        print()
+        print(format_table(result))
+        for check in shape_checks(result):
+            print("  ", check)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""ATLAS digitization campaign: Direct-pNFS vs native PVFS2.
+
+The motivating scenario of the paper's §6.3.1: high-energy-physics
+detector simulation writes ~650 MB per 500-event run, dominated by
+small requests by count and by large requests by volume.  This example
+replays the digitization write trace on both architectures with 1, 4,
+and 8 concurrent clients and reports aggregate throughput — showing
+how Direct-pNFS's NFSv4.1 write-back cache absorbs the small-request
+mix that hurts the native parallel file system client.
+
+Run:  python examples/atlas_campaign.py  [scale]
+      (scale defaults to 0.1 -> ~65 MB per client; 1.0 is the paper's
+      full 650 MB)
+"""
+
+import sys
+
+from repro.bench.runner import run_cell
+from repro.workloads import AtlasWorkload
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    print(f"ATLAS digitization replay (scale={scale})")
+    print(f"{'clients':>8} {'direct-pnfs':>14} {'pvfs2':>14} {'speedup':>9}")
+    for n in (1, 4, 8):
+        row = {}
+        for arch in ("direct-pnfs", "pvfs2"):
+            result = run_cell(arch, AtlasWorkload(scale=scale), n_clients=n)
+            row[arch] = result.aggregate_mbps
+        print(
+            f"{n:>8} {row['direct-pnfs']:>11.1f} MB/s {row['pvfs2']:>9.1f} MB/s "
+            f"{row['direct-pnfs'] / row['pvfs2']:>8.2f}x"
+        )
+    print("\npaper (Fig 8a): direct-pnfs reaches 102.5 MB/s at 8 clients, ~2x PVFS2;")
+    print("small requests cost Direct-pNFS ~14% off its peak but PVFS2 ~59%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerate every figure panel + ablations, record results, and
+# rebuild EXPERIMENTS.md.  Scale via REPRO_SCALE (default 0.25).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+python -m pytest benchmarks/ --benchmark-only -q 2>&1 | tee bench_output.txt
+python scripts/update_experiments.py

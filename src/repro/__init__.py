@@ -1,0 +1,65 @@
+"""Direct-pNFS (HPDC 2007) — a full reproduction.
+
+Top-level convenience imports for the most common entry points; the
+subpackages hold the substance:
+
+* :mod:`repro.core` — Direct-pNFS itself (layout translator,
+  aggregation drivers, data servers, deployment builder);
+* :mod:`repro.nfs`, :mod:`repro.pnfs`, :mod:`repro.pvfs2` — the
+  protocol substrates;
+* :mod:`repro.sim` — the discrete-event cluster simulator;
+* :mod:`repro.vfs` — the generic file-system interface and data types;
+* :mod:`repro.workloads` — the paper's benchmarks;
+* :mod:`repro.cluster` — the testbed and the five architectures;
+* :mod:`repro.bench` — experiment runner and figure harness.
+
+Quick start::
+
+    from repro import Testbed, build_direct_pnfs, Payload
+
+    tb = Testbed(n_clients=1)
+    deployment = build_direct_pnfs(tb)
+    client = deployment.make_client(tb.client_nodes[0])
+
+    def app():
+        yield from client.mount()
+        f = yield from client.create("/hello")
+        yield from client.write(f, 0, Payload(b"world"))
+        yield from client.close(f)
+
+    tb.sim.run(until=tb.sim.process(app()))
+"""
+
+from repro.cluster.configs import (
+    ARCHITECTURES,
+    build_direct_pnfs,
+    build_nfsv4,
+    build_pnfs_2tier,
+    build_pnfs_3tier,
+    build_pvfs2,
+    make_deployment,
+)
+from repro.cluster.testbed import Testbed
+from repro.core.system import DirectPnfsSystem
+from repro.pvfs2.system import Pvfs2System
+from repro.sim.engine import Simulator
+from repro.vfs.api import FileSystemClient, Payload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARCHITECTURES",
+    "DirectPnfsSystem",
+    "FileSystemClient",
+    "Payload",
+    "Pvfs2System",
+    "Simulator",
+    "Testbed",
+    "build_direct_pnfs",
+    "build_nfsv4",
+    "build_pnfs_2tier",
+    "build_pnfs_3tier",
+    "build_pvfs2",
+    "make_deployment",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Benchmark harness: experiment runner, paper data, and reporting.
+
+:mod:`repro.bench.runner` executes one (architecture, workload,
+client-count) cell and returns measured metrics;
+:mod:`repro.bench.experiments` defines every figure panel of the
+paper's evaluation as a sweep; :mod:`repro.bench.paper_data` digitises
+the paper's reported values; :mod:`repro.bench.report` renders
+paper-vs-measured tables and checks the qualitative shape criteria.
+"""
+
+from repro.bench.runner import RunResult, run_cell
+from repro.bench.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.bench.report import format_table, shape_checks
+from repro.bench.charts import render_series
+from repro.bench.bottleneck import snapshot, utilisation
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "RunResult",
+    "format_table",
+    "render_series",
+    "run_cell",
+    "run_experiment",
+    "shape_checks",
+    "snapshot",
+    "utilisation",
+]

@@ -1,0 +1,88 @@
+"""Bottleneck attribution: which resource limited a run?
+
+The paper's discussion (§6.2.1) attributes each regime to a resource:
+"In the write experiments, Direct-pNFS and PVFS2 fully utilize the
+available disk bandwidth.  In the read experiments, data are read
+directly from the server cache, so the disks are not a bottleneck.
+Instead, client and server CPU performance becomes the limiting
+factor."  This module measures exactly that: per-node utilisation of
+CPU, NIC (each direction), and disks over a measurement window, and
+names the most-utilised resource class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.node import Node
+
+__all__ = ["NodeSnapshot", "UtilisationReport", "snapshot", "utilisation"]
+
+
+@dataclass
+class NodeSnapshot:
+    """Raw counters of one node at an instant."""
+
+    t: float
+    cpu_busy: float
+    tx_bytes: int
+    rx_bytes: int
+    disk_busy: tuple[float, ...]
+
+
+def snapshot(node: Node) -> NodeSnapshot:
+    """Capture the node's cumulative counters now."""
+    return NodeSnapshot(
+        t=node.sim.now,
+        cpu_busy=node.cpu.busy_time,
+        tx_bytes=node.nic.tx_bytes,
+        rx_bytes=node.nic.rx_bytes,
+        disk_busy=tuple(d.busy_time for d in node.disks),
+    )
+
+
+@dataclass
+class UtilisationReport:
+    """Utilisation fractions of one node over a window."""
+
+    node: str
+    cpu: float
+    nic_tx: float
+    nic_rx: float
+    disk: float  # max over the node's disks; 0.0 when diskless
+    window: float
+
+    @property
+    def dominant(self) -> str:
+        """The resource class closest to saturation."""
+        candidates = {
+            "cpu": self.cpu,
+            "nic": max(self.nic_tx, self.nic_rx),
+            "disk": self.disk,
+        }
+        return max(candidates, key=candidates.get)  # type: ignore[arg-type]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.node}: cpu {self.cpu:5.1%}  tx {self.nic_tx:5.1%}  "
+            f"rx {self.nic_rx:5.1%}  disk {self.disk:5.1%}  -> {self.dominant}"
+        )
+
+
+def utilisation(node: Node, before: NodeSnapshot, after: NodeSnapshot) -> UtilisationReport:
+    """Utilisation of ``node`` between two snapshots."""
+    window = after.t - before.t
+    if window <= 0:
+        raise ValueError("snapshots must span a positive window")
+    cpu_capacity = window * node.cpu.spec.cores
+    disk = 0.0
+    for b, a in zip(before.disk_busy, after.disk_busy):
+        disk = max(disk, (a - b) / window)
+    return UtilisationReport(
+        node=node.name,
+        cpu=(after.cpu_busy - before.cpu_busy) / cpu_capacity,
+        nic_tx=(after.tx_bytes - before.tx_bytes) / node.nic.bandwidth / window,
+        nic_rx=(after.rx_bytes - before.rx_bytes) / node.nic.bandwidth / window,
+        disk=disk,
+        window=window,
+    )

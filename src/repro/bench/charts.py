@@ -1,0 +1,55 @@
+"""ASCII charts for benchmark series (no plotting dependencies).
+
+Renders the paper's line charts as terminal bar charts: one row per
+(system, client-count) point, bars proportional to the metric, with the
+paper's reference value marked.  Used by the CLI and available to any
+report consumer::
+
+    print(render_series(result))
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.paper_data import PAPER
+
+__all__ = ["bar", "render_series"]
+
+BAR_WIDTH = 46
+
+
+def bar(value: float, maximum: float, width: int = BAR_WIDTH, marker: float | None = None) -> str:
+    """A text bar of ``value`` scaled to ``maximum``, with an optional
+    reference ``marker`` drawn as ``|``."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    cells = [" "] * width
+    filled = min(width, round(value / maximum * width))
+    for i in range(filled):
+        cells[i] = "#"
+    if marker is not None and marker >= 0:
+        pos = min(width - 1, round(marker / maximum * width))
+        cells[pos] = "|"
+    return "".join(cells)
+
+
+def render_series(res: ExperimentResult) -> str:
+    """Bar-chart view of one experiment's sweep, measured vs paper."""
+    exp = res.experiment
+    paper = PAPER.get(exp.id, {})
+    unit = {"mbps": "MB/s", "runtime": "s", "tps": "tps"}[exp.metric]
+    peak = max(
+        [v for series in res.values.values() for v in series.values()]
+        + [v for system in paper.values() for v in system.values()]
+    )
+    lines = [f"{exp.id}: {exp.title}  [# measured, | paper, max {peak:.0f} {unit}]"]
+    for system in exp.systems:
+        if system not in res.values:
+            continue
+        lines.append(f"  {system}")
+        for n, value in sorted(res.values[system].items()):
+            ref = paper.get(system, {}).get(n)
+            lines.append(
+                f"   {n:>2} cl {bar(value, peak, marker=ref)} {value:7.1f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Render paper-vs-measured tables and check qualitative shape criteria.
+
+The shape criteria encode the paper's *claims* (who wins, by roughly
+what factor, where curves flatten) rather than absolute numbers; they
+are what EXPERIMENTS.md records and what the benchmark suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.paper_data import PAPER
+
+__all__ = ["ShapeCheck", "format_table", "shape_checks"]
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative criterion and its verdict."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.ok else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+def format_table(res: ExperimentResult) -> str:
+    """ASCII table: one row per client count, measured (paper) pairs."""
+    exp = res.experiment
+    systems = [s for s in exp.systems if s in res.values]
+    counts = sorted(next(iter(res.values.values())).keys())
+    paper = PAPER.get(exp.id, {})
+    unit = {"mbps": "MB/s", "runtime": "s", "tps": "tps"}[exp.metric]
+
+    header = f"{exp.id}: {exp.title}   [measured (paper), {unit}]"
+    colw = 22
+    lines = [header, "-" * len(header)]
+    lines.append("clients " + "".join(f"{s:>{colw}}" for s in systems))
+    for n in counts:
+        cells = []
+        for s in systems:
+            measured = res.values[s].get(n)
+            ref = paper.get(s, {}).get(n)
+            cell = f"{measured:8.1f}" if measured is not None else "       -"
+            cell += f" ({ref:6.1f})" if ref is not None else "       "
+            cells.append(f"{cell:>{colw}}")
+        lines.append(f"{n:>7} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def _at(res: ExperimentResult, system: str, n: int) -> float:
+    return res.values[system][n]
+
+
+def _max_clients(res: ExperimentResult) -> int:
+    return max(next(iter(res.values.values())).keys())
+
+
+def shape_checks(res: ExperimentResult) -> list[ShapeCheck]:
+    """The per-figure qualitative criteria from DESIGN.md §3."""
+    exp = res.experiment
+    checks: list[ShapeCheck] = []
+    n_hi = _max_clients(res)
+
+    def add(name: str, ok: bool, detail: str) -> None:
+        checks.append(ShapeCheck(name, ok, detail))
+
+    def ratio(a: float, b: float) -> float:
+        return a / b if b else float("inf")
+
+    if exp.id in ("fig6a", "fig6b"):
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "direct matches pvfs2",
+            0.85 <= ratio(d, p) <= 1.15,
+            f"direct {d:.0f} vs pvfs2 {p:.0f} MB/s at {n_hi} clients",
+        )
+        t3 = _at(res, "pnfs-3tier", n_hi)
+        add(
+            "3-tier plateaus below direct",
+            t3 < 0.85 * d,
+            f"3tier {t3:.0f} vs direct {d:.0f}",
+        )
+        t3_4 = _at(res, "pnfs-3tier", 4) if 4 in res.values["pnfs-3tier"] else t3
+        add(
+            "3-tier flat beyond 4 clients",
+            abs(t3 - t3_4) <= 0.2 * t3_4,
+            f"{t3_4:.0f} @4 vs {t3:.0f} @{n_hi}",
+        )
+        nf = _at(res, "nfsv4", n_hi)
+        nf1 = _at(res, "nfsv4", 1)
+        add(
+            "nfsv4 flat and lowest",
+            abs(nf - nf1) <= 0.3 * max(nf1, 1e-9) and nf <= min(d, p, t3) * 1.05,
+            f"nfsv4 {nf1:.0f}..{nf:.0f} MB/s",
+        )
+    elif exp.id == "fig6c":
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        t2 = _at(res, "pnfs-2tier", n_hi)
+        add(
+            "direct matches pvfs2 on 100 Mbps",
+            0.8 <= ratio(d, p) <= 1.25,
+            f"direct {d:.0f} vs pvfs2 {p:.0f}",
+        )
+        add(
+            "2-tier at about half throughput",
+            0.35 <= ratio(t2, d) <= 0.65,
+            f"2tier/direct = {ratio(t2, d):.2f}",
+        )
+    elif exp.id in ("fig6d", "fig6e"):
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "pvfs2 collapses with 8 KB blocks",
+            ratio(d, p) >= 2.0,
+            f"direct/pvfs2 = {ratio(d, p):.1f}x (paper ~3x)",
+        )
+        nf = _at(res, "nfsv4", n_hi)
+        others = min(d, _at(res, "pnfs-2tier", n_hi), _at(res, "pnfs-3tier", n_hi))
+        add(
+            "NFSv4-based architectures do not collapse like pvfs2",
+            others > 1.15 * p and nf >= 0.85 * p,
+            "parallel NFS curves above PVFS2 at its small-block peak; "
+            f"single-server NFSv4 at its large-block level ({nf:.0f} vs "
+            f"pvfs2 {p:.0f})",
+        )
+    elif exp.id in ("fig7a", "fig7b"):
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "direct comparable to pvfs2",
+            0.8 <= ratio(d, p) <= 1.25,
+            f"direct {d:.0f} vs pvfs2 {p:.0f}",
+        )
+        nf = _at(res, "nfsv4", n_hi)
+        add(
+            "direct scales far beyond single-server nfsv4",
+            ratio(d, nf) >= 3.0,
+            f"direct/nfsv4 = {ratio(d, nf):.1f}x (paper ~4.6x)",
+        )
+        t2, t3 = _at(res, "pnfs-2tier", n_hi), _at(res, "pnfs-3tier", n_hi)
+        add(
+            "indirect tiers bandwidth-limited below direct",
+            t2 < 0.8 * d and t3 < 0.8 * d,
+            f"2tier {t2:.0f}, 3tier {t3:.0f} vs direct {d:.0f}",
+        )
+        if exp.id == "fig7b":
+            add(
+                "single-file top end: pvfs2 at least at parity with direct",
+                p >= 0.9 * d,
+                f"pvfs2 {p:.0f} vs direct {d:.0f} at {n_hi} clients "
+                "(paper: pvfs2 slightly ahead, 530.7 vs ~505; we measure "
+                "near-parity — the loopback tax narrows but does not flip "
+                "the gap at benchmark scale)",
+            )
+    elif exp.id in ("fig7c", "fig7d"):
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "pvfs2 collapses on 8 KB reads",
+            ratio(d, p) >= 4.0,
+            f"direct/pvfs2 = {ratio(d, p):.1f}x (paper ~10x)",
+        )
+    elif exp.id == "fig8a":
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "direct wins the ATLAS mix",
+            d >= p,
+            f"direct {d:.0f} vs pvfs2 {p:.0f} (paper ~2.1x — see the "
+            "EXPERIMENTS.md deviation note: our rational PVFS2 drain "
+            "model does not reproduce its measured collapse)",
+        )
+    elif exp.id == "fig8b":
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "runtimes comparable (direct within ~15%)",
+            ratio(d, p) <= 1.15,
+            f"direct {d:.0f}s vs pvfs2 {p:.0f}s (paper: +5% at 9 clients)",
+        )
+    elif exp.id == "fig8c":
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "direct clearly faster on OLTP",
+            ratio(d, p) >= 1.2,
+            f"direct/pvfs2 = {ratio(d, p):.1f}x (paper ~4.3x — see the "
+            "EXPERIMENTS.md deviation note)",
+        )
+    elif exp.id == "fig8d":
+        d, p = _at(res, "direct-pnfs", n_hi), _at(res, "pvfs2", n_hi)
+        add(
+            "direct at least matches pvfs2 on Postmark",
+            ratio(d, p) >= 0.95,
+            f"direct/pvfs2 = {ratio(d, p):.1f}x (paper: up to 36x — both "
+            "systems share the create/journal substrate in our model; "
+            "see the EXPERIMENTS.md deviation note)",
+        )
+    elif exp.id == "sshbuild":
+        raw_d = res.raw[("direct-pnfs", 1)].results[0].extra["phases"]
+        raw_p = res.raw[("pvfs2", 1)].results[0].extra["phases"]
+        add(
+            "direct faster in the build phase",
+            raw_d["build"] < raw_p["build"],
+            f"build: direct {raw_d['build']:.1f}s vs pvfs2 {raw_p['build']:.1f}s",
+        )
+        add(
+            "direct slower in uncompress+configure (metadata-bound)",
+            raw_d["uncompress"] + raw_d["configure"]
+            > raw_p["uncompress"] + raw_p["configure"],
+            f"meta phases: direct {raw_d['uncompress'] + raw_d['configure']:.1f}s "
+            f"vs pvfs2 {raw_p['uncompress'] + raw_p['configure']:.1f}s",
+        )
+    return checks

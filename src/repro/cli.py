@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                         # architectures & experiments
+    python -m repro run fig7a --scale 0.1        # regenerate a figure panel
+    python -m repro cell direct-pnfs ior-write \\
+        --clients 4 --scale 0.2                  # one (arch, workload) cell
+    python -m repro quickstart                   # the quickstart demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    from repro.bench.experiments import EXPERIMENTS
+    from repro.cluster.configs import ARCHITECTURES
+
+    print("architectures:")
+    for name in sorted(ARCHITECTURES):
+        print(f"  {name}")
+    print("\nexperiments (figure panels):")
+    for exp_id, exp in EXPERIMENTS.items():
+        systems = ",".join(exp.systems)
+        print(f"  {exp_id:9s} {exp.title}  [{exp.metric}; {systems}]")
+    print("\nworkloads for `repro cell`:")
+    for name in sorted(_WORKLOADS):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bench.experiments import run_experiment
+    from repro.bench.report import format_table, shape_checks
+
+    counts = [int(c) for c in args.clients.split(",")] if args.clients else None
+    result = run_experiment(args.experiment, scale=args.scale, client_counts=counts)
+    print(format_table(result))
+    if args.chart:
+        from repro.bench.charts import render_series
+
+        print()
+        print(render_series(result))
+    ok = True
+    for check in shape_checks(result):
+        print("  ", check)
+        ok = ok and check.ok
+    return 0 if ok else 1
+
+
+_WORKLOADS = {
+    "ior-write": lambda scale: _ior("write", scale),
+    "ior-read": lambda scale: _ior("read", scale),
+    "ior-write-8k": lambda scale: _ior("write", scale, block=8192),
+    "ior-read-8k": lambda scale: _ior("read", scale, block=8192),
+    "atlas": lambda scale: _mk("AtlasWorkload", scale),
+    "btio": lambda scale: _mk("BtioWorkload", scale),
+    "oltp": lambda scale: _mk("OltpWorkload", scale),
+    "postmark": lambda scale: _mk("PostmarkWorkload", scale),
+    "sshbuild": lambda scale: _mk("SshBuildWorkload", scale),
+    "mdtest": lambda scale: _mk("MdtestWorkload", scale),
+}
+
+
+def _ior(op: str, scale: float, block: int = 4 * 1024 * 1024):
+    from repro.workloads import IorWorkload
+
+    return IorWorkload(op=op, block_size=block, scale=scale)
+
+
+def _mk(name: str, scale: float):
+    import repro.workloads as w
+
+    return getattr(w, name)(scale=scale)
+
+
+def _cmd_cell(args) -> int:
+    from repro.bench.runner import run_cell
+
+    workload = _WORKLOADS[args.workload](args.scale)
+    result = run_cell(args.arch, workload, n_clients=args.clients)
+    print(
+        f"{args.arch} / {args.workload} @ {args.clients} clients "
+        f"(scale {args.scale}):"
+    )
+    print(f"  makespan   : {result.makespan:.3f} s")
+    print(f"  aggregate  : {result.aggregate_mbps:.1f} MB/s")
+    print(f"  tps        : {result.transactions_per_second:.1f}")
+    return 0
+
+
+def _cmd_quickstart(_args) -> int:
+    import pathlib
+    import runpy
+
+    demo = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    runpy.run_path(str(demo), run_name="__main__")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Direct-pNFS reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list architectures, experiments, workloads")
+
+    p_run = sub.add_parser("run", help="regenerate one figure panel")
+    p_run.add_argument("experiment", help="e.g. fig6a, fig7c, fig8d")
+    p_run.add_argument("--scale", type=float, default=0.1)
+    p_run.add_argument("--clients", help="comma-separated counts, e.g. 1,4,8")
+    p_run.add_argument(
+        "--chart", action="store_true", help="also render an ASCII bar chart"
+    )
+
+    p_cell = sub.add_parser("cell", help="run one (architecture, workload) cell")
+    p_cell.add_argument("arch", help="direct-pnfs | pvfs2 | pnfs-2tier | pnfs-3tier | nfsv4")
+    p_cell.add_argument("workload", choices=sorted(_WORKLOADS))
+    p_cell.add_argument("--clients", type=int, default=4)
+    p_cell.add_argument("--scale", type=float, default=0.1)
+
+    sub.add_parser("quickstart", help="run the quickstart demo")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "cell": _cmd_cell,
+        "quickstart": _cmd_quickstart,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

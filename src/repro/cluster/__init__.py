@@ -1,0 +1,31 @@
+"""Testbed model and the five architectures under test.
+
+:mod:`repro.cluster.testbed` is the single source of truth for hardware
+and calibration constants (paper §6.1); :mod:`repro.cluster.configs`
+assembles the five systems the evaluation compares: ``direct-pnfs``,
+``pvfs2``, ``pnfs-2tier``, ``pnfs-3tier``, and ``nfsv4``.
+"""
+
+from repro.cluster.testbed import (
+    FAST_ETHERNET,
+    GIGE,
+    Testbed,
+    default_nfs_config,
+    default_pvfs2_config,
+)
+from repro.cluster.configs import (
+    ARCHITECTURES,
+    Deployment,
+    make_deployment,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "Deployment",
+    "FAST_ETHERNET",
+    "GIGE",
+    "Testbed",
+    "default_nfs_config",
+    "default_pvfs2_config",
+    "make_deployment",
+]

@@ -1,0 +1,52 @@
+"""Direct-pNFS: the paper's primary contribution.
+
+Direct-pNFS (§4) lets an *unmodified* NFSv4.1 client reach a parallel
+file system's storage nodes directly:
+
+* the **layout translator** (:mod:`repro.core.layout_translator`)
+  converts the parallel FS's own data distribution into a pNFS
+  file-based layout, without interpreting file-system-specific
+  information — only the aggregation type and its parameters cross the
+  boundary;
+* **aggregation drivers** (:mod:`repro.core.aggregation`) give clients
+  a compact, pluggable way to understand non-round-robin placements
+  (variable stripes, replication, hierarchical striping);
+* **data servers** (:mod:`repro.core.data_server`) are stock NFSv4.1
+  servers colocated with storage nodes, reaching local data through a
+  loopback conduit — no inter-server data traffic;
+* :mod:`repro.core.system` assembles a complete Direct-pNFS deployment
+  over any :class:`~repro.pvfs2.system.Pvfs2System`.
+"""
+
+from repro.core.aggregation import (
+    AggregationDriver,
+    DeviceCycleDriver,
+    HierarchicalDriver,
+    IoSegment,
+    ReplicatedDriver,
+    RoundRobinDriver,
+    VarStripDriver,
+    driver_for,
+    register_driver,
+)
+from repro.core.layout_translator import LayoutTranslator
+from repro.core.data_server import build_data_server
+from repro.core.system import DirectPnfsSystem
+from repro.core.multi_mds import ShardedDirectPnfs, ShardedPvfs2System
+
+__all__ = [
+    "AggregationDriver",
+    "DeviceCycleDriver",
+    "DirectPnfsSystem",
+    "HierarchicalDriver",
+    "IoSegment",
+    "LayoutTranslator",
+    "ReplicatedDriver",
+    "RoundRobinDriver",
+    "ShardedDirectPnfs",
+    "ShardedPvfs2System",
+    "VarStripDriver",
+    "build_data_server",
+    "driver_for",
+    "register_driver",
+]

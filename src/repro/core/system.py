@@ -1,0 +1,74 @@
+"""Assemble a complete Direct-pNFS deployment (paper Figures 4 and 5).
+
+Given a running :class:`~repro.pvfs2.system.Pvfs2System`:
+
+* every storage node gets a data server (NFSv4.1 over the local
+  conduit);
+* the PVFS2 metadata node also hosts the pNFS metadata server — pNFS
+  and parallel-FS metadata components co-exist on one node, eliminating
+  remote parallel-FS metadata requests from the pNFS server (§4.1);
+* the metadata server's layout provider is the layout translator.
+
+Clients are stock :class:`~repro.pnfs.client.PnfsClient` instances — no
+file-system-specific layout driver anywhere on the client.
+"""
+
+from __future__ import annotations
+
+from repro.core.data_server import DEFAULT_LOOPBACK_COPY, build_data_server
+from repro.core.layout_translator import LayoutTranslator
+from repro.nfs.config import NfsConfig
+from repro.pnfs.server import PnfsMetadataServer
+from repro.pvfs2.system import Pvfs2System
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+
+__all__ = ["DirectPnfsSystem"]
+
+
+class DirectPnfsSystem:
+    """A running Direct-pNFS file system exported from a parallel FS."""
+
+    label = "direct-pnfs"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pvfs: Pvfs2System,
+        cfg: NfsConfig | None = None,
+        loopback_copy_per_byte: float = DEFAULT_LOOPBACK_COPY,
+    ):
+        self.sim = sim
+        self.pvfs = pvfs
+        self.cfg = cfg or NfsConfig()
+        # One data server per storage node, in daemon order so the
+        # identity device mapping lines up with the distribution.
+        self.data_servers = [
+            build_data_server(
+                sim, node, pvfs, self.cfg, loopback_copy_per_byte=loopback_copy_per_byte
+            )
+            for node in pvfs.storage_nodes
+        ]
+        # pNFS MDS colocated with the parallel FS MDS; its backend is a
+        # full parallel-FS client whose metadata traffic is loopback.
+        self.mds_backend = pvfs.make_client(pvfs.mds_node)
+        self.translator = LayoutTranslator(self.mds_backend)
+        self.mds = PnfsMetadataServer(
+            sim,
+            pvfs.mds_node,
+            self.mds_backend,
+            self.cfg,
+            self.data_servers,
+            self.translator,
+            name=f"{pvfs.mds_node.name}.direct-mds",
+        )
+
+    def make_client(self, node: Node):
+        """An unmodified NFSv4.1 client with the file layout driver."""
+        # Imported here: repro.pnfs.client itself imports the
+        # aggregation-driver registry from repro.core.
+        from repro.pnfs.client import PnfsClient
+
+        client = PnfsClient(self.sim, node, self.mds, self.cfg)
+        client.label = self.label
+        return client

@@ -1,0 +1,30 @@
+"""NFSv4 / NFSv4.1 substrate.
+
+The control-and-data protocol underlying every NFS-based architecture
+in the paper: a server exporting any
+:class:`~repro.vfs.api.FileSystemClient` backend
+(:mod:`repro.nfs.server` — with delegations, leases, and byte-range
+locks in :mod:`repro.nfs.locks`), and a client with the Linux-style
+write-back page cache, pipelined readahead, and close-to-open inode
+cache (:mod:`repro.nfs.client`, intervals in
+:mod:`repro.nfs.intervals`) whose behaviour produces the paper's
+small-I/O results.  NFSv4.1 sessions (:mod:`repro.nfs.sessions`) bound
+per-client RPC concurrency.
+"""
+
+from repro.nfs.config import NfsConfig
+from repro.nfs.intervals import IntervalSet
+from repro.nfs.locks import LockConflict, LockManager
+from repro.nfs.sessions import Session
+from repro.nfs.server import Nfs4Server
+from repro.nfs.client import Nfs4Client
+
+__all__ = [
+    "IntervalSet",
+    "LockConflict",
+    "LockManager",
+    "Nfs4Client",
+    "Nfs4Server",
+    "NfsConfig",
+    "Session",
+]

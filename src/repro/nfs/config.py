@@ -1,0 +1,53 @@
+"""NFS tunables and cost model.
+
+Defaults follow the paper's experimental setup (§6.1): 2 MB rsize and
+wsize, eight server threads.  Cost numbers are the calibrated Linux
+NFSv4 path costs (lighter per call than the PVFS2 storage protocol —
+the asynchronous, multi-threaded kernel implementation the paper
+credits for its small-I/O advantage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rpc import RpcCosts
+
+__all__ = ["NfsConfig"]
+
+
+@dataclass(frozen=True)
+class NfsConfig:
+    """All NFS knobs in one place."""
+
+    rsize: int = 2 * 1024 * 1024
+    wsize: int = 2 * 1024 * 1024
+    server_threads: int = 8
+    session_slots: int = 32
+    #: Readahead window fetched beyond a sequential read stream.
+    readahead: int = 4 * 1024 * 1024
+    #: Attribute-cache timeout (seconds).
+    ac_timeo: float = 3.0
+    #: Grant NFSv4 read delegations to read-only opens with no
+    #: conflicting writers (served locally on reopen until recalled).
+    delegations: bool = True
+    #: Client lease duration (state is discarded when it lapses).
+    lease_time: float = 90.0
+    #: App↔page-cache memcpy cost charged on the client (s/byte).
+    client_copy_per_byte: float = 1.0e-9
+    costs: RpcCosts = field(
+        default_factory=lambda: RpcCosts(
+            client_per_call=30e-6,
+            client_per_byte=3.0e-9,
+            server_per_call=45e-6,
+            server_per_byte=4.0e-9,
+        )
+    )
+
+    def __post_init__(self):
+        if self.rsize < 1 or self.wsize < 1:
+            raise ValueError("rsize/wsize must be >= 1")
+        if self.server_threads < 1 or self.session_slots < 1:
+            raise ValueError("thread/slot counts must be >= 1")
+        if self.readahead < 0:
+            raise ValueError("readahead must be >= 0")

@@ -1,0 +1,117 @@
+"""Half-open interval sets over byte ranges.
+
+The NFSv4 client's page cache tracks which byte ranges of a file are
+*valid* (cached) and which are *dirty* (written but not yet on the
+server) as interval sets.  Intervals are ``[start, end)`` pairs kept
+sorted and coalesced.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """Sorted, coalesced set of half-open integer intervals."""
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self):
+        self._ivs: list[tuple[int, int]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __iter__(self):
+        return iter(self._ivs)
+
+    @property
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in self._ivs)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """(min start, max end) or (0, 0) when empty."""
+        if not self._ivs:
+            return (0, 0)
+        return (self._ivs[0][0], self._ivs[-1][1])
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, merging overlapping/adjacent intervals."""
+        if start >= end:
+            return
+        ivs = self._ivs
+        # Find all intervals touching [start, end] (adjacency merges too).
+        lo = bisect_left(ivs, (start,)) if ivs else 0
+        # Step back if the previous interval reaches start.
+        if lo > 0 and ivs[lo - 1][1] >= start:
+            lo -= 1
+        hi = lo
+        while hi < len(ivs) and ivs[hi][0] <= end:
+            start = min(start, ivs[hi][0])
+            end = max(end, ivs[hi][1])
+            hi += 1
+        ivs[lo:hi] = [(start, end)]
+
+    def remove(self, start: int, end: int) -> None:
+        """Delete coverage of ``[start, end)``; splits as needed."""
+        if start >= end or not self._ivs:
+            return
+        out: list[tuple[int, int]] = []
+        for s, e in self._ivs:
+            if e <= start or s >= end:
+                out.append((s, e))
+                continue
+            if s < start:
+                out.append((s, start))
+            if e > end:
+                out.append((end, e))
+        self._ivs = out
+
+    def covers(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` is fully covered."""
+        if start >= end:
+            return True
+        idx = bisect_right(self._ivs, (start, float("inf"))) - 1
+        if idx < 0:
+            return False
+        s, e = self._ivs[idx]
+        return s <= start and e >= end
+
+    def gaps(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Sub-ranges of ``[start, end)`` *not* covered."""
+        out: list[tuple[int, int]] = []
+        pos = start
+        for s, e in self._ivs:
+            if e <= start:
+                continue
+            if s >= end:
+                break
+            if s > pos:
+                out.append((pos, min(s, end)))
+            pos = max(pos, e)
+            if pos >= end:
+                break
+        if pos < end:
+            out.append((pos, end))
+        return out
+
+    def runs_in(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Covered sub-ranges of ``[start, end)``."""
+        out = []
+        for s, e in self._ivs:
+            lo, hi = max(s, start), min(e, end)
+            if lo < hi:
+                out.append((lo, hi))
+        return out
+
+    def copy(self) -> "IntervalSet":
+        dup = IntervalSet()
+        dup._ivs = list(self._ivs)
+        return dup

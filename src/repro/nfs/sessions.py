@@ -1,0 +1,37 @@
+"""NFSv4.1 sessions and slot tables.
+
+A session's slot table bounds the number of outstanding requests a
+client may have at a server — the NFSv4.1 flow-control mechanism that
+replaces NFSv4's unbounded async RPC.  Every client RPC (including
+write-back and readahead traffic) holds a slot for its duration.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+
+__all__ = ["Session"]
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """One client↔server NFSv4.1 session."""
+
+    def __init__(self, sim: Simulator, slots: int, name: str = ""):
+        self.sessionid = next(_session_ids)
+        self.slots = Resource(sim, slots, name=name or f"session{self.sessionid}")
+        self.highest_used = 0
+
+    def slot(self):
+        """Acquire event for one slot; caller must release via ``done``."""
+        ev = self.slots.acquire()
+        self.highest_used = max(self.highest_used, self.slots.in_use)
+        return ev
+
+    def done(self) -> None:
+        """Return a slot."""
+        self.slots.release()

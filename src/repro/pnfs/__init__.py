@@ -1,0 +1,23 @@
+"""pNFS (NFSv4.1 parallel NFS) protocol layer.
+
+Extends the NFSv4 substrate with the file-based storage protocol (§3):
+layouts and devices (:mod:`repro.pnfs.layout`), the metadata server
+with GETDEVLIST / LAYOUTGET / LAYOUTCOMMIT / LAYOUTRETURN and callback
+recall (:mod:`repro.pnfs.server`), layout providers — including the
+synthetic provider used by the indirect 2-/3-tier architectures
+(:mod:`repro.pnfs.providers`) — and the pNFS client whose layout driver
+routes I/O straight to data servers (:mod:`repro.pnfs.client`).
+"""
+
+from repro.pnfs.layout import FileLayout
+from repro.pnfs.providers import LayoutProvider, SyntheticFileLayoutProvider
+from repro.pnfs.server import PnfsMetadataServer
+from repro.pnfs.client import PnfsClient
+
+__all__ = [
+    "FileLayout",
+    "LayoutProvider",
+    "PnfsClient",
+    "PnfsMetadataServer",
+    "SyntheticFileLayoutProvider",
+]

@@ -1,0 +1,206 @@
+"""pNFS client: NFSv4.1 client + file layout driver + I/O driver.
+
+Subclasses :class:`~repro.nfs.client.Nfs4Client`, keeping the whole
+page-cache/readahead/write-back machinery, and reroutes the wire I/O
+through layouts:
+
+* ``mount`` adds GETDEVLIST;
+* ``open``/``create`` add LAYOUTGET (layouts govern the whole file and
+  are cached for the life of the open, §3.4/§5);
+* READ/WRITE go directly to the data servers selected by the layout's
+  aggregation driver;
+* fsync/close COMMIT at every touched data server (or through the MDS
+  when the layout says so) and then LAYOUTCOMMIT the new file size to
+  the metadata server;
+* a backchannel service answers CB_LAYOUTRECALL by dropping the cached
+  layout (re-fetched lazily on the next I/O).
+
+This class *is* the "unmodified NFSv4.1 client" of the paper: the same
+code serves Direct-pNFS and the 2-/3-tier architectures — only the
+layout contents differ.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import driver_for
+from repro.nfs.client import Nfs4Client
+from repro.nfs.config import NfsConfig
+from repro.nfs.server import Nfs4Server
+from repro.pnfs.server import PnfsMetadataServer
+from repro.rpc import RpcServer
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.vfs.api import OpenFile, Payload
+
+__all__ = ["PnfsClient"]
+
+
+class PnfsClient(Nfs4Client):
+    """Stock NFSv4.1 client with the file-based layout driver."""
+
+    label = "pnfs"
+
+    def __init__(self, sim: Simulator, node: Node, mds: PnfsMetadataServer, cfg: NfsConfig):
+        super().__init__(sim, node, mds, cfg)
+        self.mds = mds
+        self.devices: list[Nfs4Server] = []
+        # Layout recalls share the base client's backchannel (one
+        # session backchannel carries all callback programs).
+        self._cb.register("cb_layoutrecall", self._h_cb_layoutrecall)
+        self._open_by_fh: dict[object, list[OpenFile]] = {}
+        #: Layouts are valid for the lifetime of the inode (§5): keep
+        #: them across open/close and skip LAYOUTGET on reopen.
+        self._layout_cache: dict[object, object] = {}
+
+    # -- mount / layout management ------------------------------------------
+    def mount(self):
+        result = yield from super().mount()
+        dres, _ = yield from self._call("getdevlist", {})
+        self.devices = dres["devices"]
+        return result
+
+    def _post_open(self, f: OpenFile):
+        yield from self._layoutget(f)
+
+    def _layoutget(self, f: OpenFile):
+        layout = self._layout_cache.get(f.state["fh"])
+        if layout is None:
+            result, _ = yield from self._call(
+                "layoutget",
+                {"fh": f.state["fh"], "path": f.path, "callback": self._cb},
+            )
+            layout = result["layout"]
+            self._layout_cache[f.state["fh"]] = layout
+        f.state["layout"] = layout
+        f.state["agg"] = driver_for(layout.aggregation)
+        f.state.setdefault("commit_slots", set())
+        f.state.setdefault("layoutcommitted_size", f.state["size"])
+        siblings = self._open_by_fh.setdefault(f.state["fh"], [])
+        if f not in siblings:
+            siblings.append(f)
+        return layout
+
+    def _ensure_layout(self, f: OpenFile):
+        if f.state.get("layout") is None:
+            yield from self._layoutget(f)
+
+    def _h_cb_layoutrecall(self, args, payload):
+        """Backchannel: drop the recalled layout; re-fetch lazily."""
+        self._layout_cache.pop(args["fh"], None)
+        for f in self._open_by_fh.get(args["fh"], []):
+            f.state["layout"] = None
+            f.state["agg"] = None
+        return None, None
+        yield  # pragma: no cover
+
+    def layout_return(self, f: OpenFile):
+        """Voluntarily return the file's layout (LAYOUTRETURN)."""
+        layout = f.state.get("layout")
+        if layout is None:
+            return
+        yield from self._call(
+            "layoutreturn", {"fh": f.state["fh"], "stateid": layout.stateid}
+        )
+        self._layout_cache.pop(f.state["fh"], None)
+        f.state["layout"] = None
+        f.state["agg"] = None
+
+    # -- data path -------------------------------------------------------------
+    def _ds_for(self, layout, slot: int) -> Nfs4Server:
+        return self.devices[layout.device_slots[slot]]
+
+    def _io_read(self, f: OpenFile, offset: int, nbytes: int):
+        yield from self._ensure_layout(f)
+        layout, agg = f.state["layout"], f.state["agg"]
+        segments = agg.map(offset, nbytes, for_write=False)
+        results: list = [None] * len(segments)
+
+        def seg_read(i, seg):
+            res, data = yield from self._call(
+                "read",
+                {
+                    "fh": layout.fhs[seg.device_slot],
+                    "offset": seg.offset,
+                    "nbytes": seg.length,
+                },
+                server=self._ds_for(layout, seg.device_slot),
+            )
+            results[i] = (res, data)
+
+        procs = [
+            self.sim.process(seg_read(i, seg)) for i, seg in enumerate(segments)
+        ]
+        if procs:
+            yield self.sim.all_of(procs)
+
+        payloads = [data for (_res, data) in results]
+        last_with_data = -1
+        for i, p in enumerate(payloads):
+            if p.nbytes > 0:
+                last_with_data = i
+        for i in range(last_with_data):
+            want = segments[i].length
+            p = payloads[i]
+            if p.nbytes < want:
+                pad = (
+                    Payload.synthetic(want - p.nbytes)
+                    if p.is_synthetic
+                    else Payload(b"\x00" * (want - p.nbytes))
+                )
+                payloads[i] = Payload.concat([p, pad])
+        out = Payload.concat(payloads) if payloads else Payload(b"")
+        return {"count": out.nbytes, "eof": out.nbytes < nbytes}, out
+
+    def _io_write(self, f: OpenFile, offset: int, payload: Payload):
+        yield from self._ensure_layout(f)
+        layout, agg = f.state["layout"], f.state["agg"]
+        segments = agg.map(offset, payload.nbytes, for_write=True)
+
+        def seg_write(seg):
+            yield from self._call(
+                "write",
+                {"fh": layout.fhs[seg.device_slot], "offset": seg.offset},
+                payload=payload.slice(seg.offset - offset, seg.length),
+                server=self._ds_for(layout, seg.device_slot),
+            )
+
+        procs = [self.sim.process(seg_write(seg)) for seg in segments]
+        if procs:
+            yield self.sim.all_of(procs)
+        f.state["commit_slots"].update(seg.device_slot for seg in segments)
+        return {"count": payload.nbytes}, None
+
+    def _io_commit(self, f: OpenFile):
+        yield from self._ensure_layout(f)
+        layout = f.state["layout"]
+        if layout.commit_through_mds:
+            yield from super()._io_commit(f)
+        else:
+            slots = sorted(f.state["commit_slots"])
+            procs = [
+                self.sim.process(
+                    self._call(
+                        "commit",
+                        {"fh": layout.fhs[slot]},
+                        server=self._ds_for(layout, slot),
+                    )
+                )
+                for slot in slots
+            ]
+            if procs:
+                yield self.sim.all_of(procs)
+        f.state["commit_slots"].clear()
+        # Inform the MDS of metadata changes — only when the file size
+        # may actually have moved (Linux sends LAYOUTCOMMIT only for
+        # size/mtime changes beyond the MDS's knowledge).
+        if f.state["size"] > f.state.get("layoutcommitted_size", -1):
+            yield from self._call(
+                "layoutcommit", {"fh": f.state["fh"], "size": f.state["size"]}
+            )
+            f.state["layoutcommitted_size"] = f.state["size"]
+
+    def close(self, f: OpenFile):
+        yield from super().close(f)
+        siblings = self._open_by_fh.get(f.state["fh"], [])
+        if f in siblings:
+            siblings.remove(f)

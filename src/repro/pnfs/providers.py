@@ -1,0 +1,68 @@
+"""Layout providers: how a pNFS metadata server synthesises layouts.
+
+The provider is the policy seam that distinguishes the architectures:
+
+* :class:`SyntheticFileLayoutProvider` — used by the 2-tier and 3-tier
+  file-layout systems.  It stripes round-robin over the data servers
+  *without any knowledge of where the exported parallel file system
+  actually put the bytes* (§3.4.1); data servers then reach the data
+  through their own full parallel-FS clients, moving stripes between
+  servers.
+* :class:`repro.core.layout_translator.LayoutTranslator` — the
+  Direct-pNFS provider, which converts the parallel file system's own
+  distribution into an *accurate* layout.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.pnfs.layout import FileLayout
+
+__all__ = ["LayoutProvider", "SyntheticFileLayoutProvider"]
+
+
+class LayoutProvider(ABC):
+    """Produces a :class:`FileLayout` for a file (generator method)."""
+
+    @abstractmethod
+    def get_layout(self, fh, path: str):
+        """Simulation generator returning a :class:`FileLayout`."""
+
+
+class SyntheticFileLayoutProvider(LayoutProvider):
+    """Round-robin layout over the data servers, blind to data location.
+
+    Every data server exports the same backend file system, so the same
+    filehandle works at each of them; the stripe unit is a free policy
+    choice with **no relation to the backend's stripe size** — the
+    block-size mismatch of §3.4.1 falls out of that freedom.
+    """
+
+    def __init__(self, ndevices: int, stripe_unit: int):
+        if ndevices < 1 or stripe_unit < 1:
+            raise ValueError("ndevices and stripe_unit must be >= 1")
+        self.ndevices = ndevices
+        self.stripe_unit = stripe_unit
+        self._issued = 0
+        self._first_slot_by_fh: dict = {}
+
+    def get_layout(self, fh, path: str):
+        # Rotate the first stripe index per file (stable per fh) so
+        # concurrent single-stream clients spread over the data servers.
+        first = self._first_slot_by_fh.get(fh)
+        if first is None:
+            first = self._issued % self.ndevices
+            self._first_slot_by_fh[fh] = first
+            self._issued += 1
+        return FileLayout(
+            device_slots=list(range(self.ndevices)),
+            fhs=[fh] * self.ndevices,
+            aggregation={
+                "type": "round_robin",
+                "nslots": self.ndevices,
+                "stripe_unit": self.stripe_unit,
+                "first_slot": first,
+            },
+        )
+        yield  # pragma: no cover - generator protocol

@@ -1,0 +1,304 @@
+"""PVFS2 storage daemon ("trove" + "flow" in real PVFS2).
+
+Each daemon owns a set of *bstreams* — the local byte streams backing
+one datafile each — kept in memory (the paper's read experiments use a
+warm server cache) and drained to disk by a write-behind flusher.
+
+Two bounded pools shape the performance curves:
+
+* ``flow_pool`` — the fixed kernel↔user transfer-buffer pool.  Every
+  read/write request holds one buffer while the daemon copies data
+  between the request and the bstream; this is the "fixed number of
+  buffers to transfer data between the kernel and the user-level
+  storage daemon" that caps single-file read throughput (§6.2).
+* ``dirty_tokens`` — the in-memory dirty-data bound.  Writes admit
+  instantly until the watermark, then back-pressure to disk speed,
+  which makes sustained large writes disk-bound as in Figure 6.
+
+Durability: data reaches the platter via the flusher; a ``flush``
+request (client fsync) blocks until the daemon's dirty backlog is
+drained, matching "PVFS2 buffers data on storage nodes and sends the
+data to stable storage only when necessary or at the application's
+request" (§5).
+"""
+
+from __future__ import annotations
+
+from repro.nfs.intervals import IntervalSet
+from repro.pvfs2.config import Pvfs2Config
+from repro.rpc import RpcServer
+from repro.sim.engine import Event, Simulator
+from repro.sim.node import Node
+from repro.sim.resources import Resource
+from repro.vfs.api import NoEntry, Payload
+from repro.vfs.filedata import FileData
+
+__all__ = ["StorageDaemon"]
+
+#: Max bytes the flusher coalesces into one disk request.
+FLUSH_COALESCE = 4 * 1024 * 1024
+
+#: Virtual disk address stride between bstreams (forces repositioning
+#: when the flusher alternates between files).
+BSTREAM_STRIDE = 1 << 34
+
+#: Extra user-level copy cost (s/byte) for the daemon's kernel↔user hop.
+DAEMON_COPY_PER_BYTE = 2.0e-9
+
+
+class StorageDaemon:
+    """One storage node's data service."""
+
+    def __init__(self, sim: Simulator, node: Node, cfg: Pvfs2Config, name: str = ""):
+        self.sim = sim
+        self.node = node
+        self.cfg = cfg
+        self.name = name or f"{node.name}.pvfs2d"
+        self.rpc = RpcServer(sim, node, self.name, cfg.costs, threads=cfg.storage_threads)
+        self.flow_pool = Resource(sim, cfg.flow_buffers, name=f"{self.name}.flow")
+        self.dirty_tokens = Resource(
+            sim, cfg.dirty_watermark, name=f"{self.name}.dirty"
+        )
+        self.bstreams: dict[int, FileData] = {}
+        #: Byte ranges known to have reached the disk (per bstream) —
+        #: the survivors of a crash.
+        self._persisted: dict[int, IntervalSet] = {}
+        self.crashes = 0
+        ndisks = max(1, len(node.disks))
+        #: Dirty byte ranges per disk, per bstream — *interval sets*, so
+        #: overwriting already-dirty bytes costs nothing extra (page-
+        #: cache semantics) and contiguous arrivals coalesce for free.
+        self._dirty: list[dict[int, IntervalSet]] = [{} for _ in range(ndisks)]
+        self._pending_bytes = 0
+        self._dirty_signal: list[Event | None] = [None] * ndisks
+        self._drain_waiters: list[Event] = []
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._journal_lock = Resource(sim, 1, name=f"{self.name}.journal")
+        self._journal_seq = 0
+        for proc, handler in [
+            ("read", self._h_read),
+            ("write", self._h_write),
+            ("flush", self._h_flush),
+            ("create_bstream", self._h_create),
+            ("remove_bstream", self._h_remove),
+            ("bstream_size", self._h_size),
+            ("truncate_bstream", self._h_truncate),
+        ]:
+            self.rpc.register(proc, handler)
+        for disk_idx in range(ndisks):
+            sim.process(
+                self._flusher(disk_idx), name=f"{self.name}.flusher{disk_idx}"
+            )
+
+    # -- helpers ---------------------------------------------------------
+    def _bstream(self, handle: int, create: bool = False) -> FileData:
+        fd = self.bstreams.get(handle)
+        if fd is None:
+            if not create:
+                raise NoEntry(f"{self.name}: bstream {handle}")
+            fd = FileData()
+            self.bstreams[handle] = fd
+        return fd
+
+    def _disk_index(self, handle: int) -> int:
+        """Bstreams are spread over the node's disks (two in 3-tier)."""
+        return handle % max(1, len(self.node.disks))
+
+    def _disk_for(self, handle: int):
+        return self.node.disks[self._disk_index(handle)]
+
+    @property
+    def dirty_backlog(self) -> int:
+        """Bytes accepted but not yet on the platter."""
+        return self._pending_bytes
+
+    # -- handlers ----------------------------------------------------------
+    def _journal(self):
+        """Synchronous dspace metadata write (trove/BDB sync)."""
+        if not self.cfg.metadata_sync or not self.node.disks:
+            return
+        yield self._journal_lock.acquire()
+        try:
+            offset = (1 << 41) + self._journal_seq * self.cfg.journal_io_bytes
+            self._journal_seq += 1
+            yield from self.node.disks[0].io(
+                offset, self.cfg.journal_io_bytes, write=True
+            )
+        finally:
+            self._journal_lock.release()
+
+    def _h_create(self, args, payload):
+        self._bstream(args["handle"], create=True)
+        yield from self._journal()
+        return None, None
+
+    def _h_remove(self, args, payload):
+        self.bstreams.pop(args["handle"], None)
+        self._persisted.pop(args["handle"], None)
+        yield from self._journal()
+        return None, None
+
+    def _h_size(self, args, payload):
+        fd = self.bstreams.get(args["handle"])
+        return (fd.size if fd is not None else 0), None
+        yield  # pragma: no cover
+
+    def _h_truncate(self, args, payload):
+        self._bstream(args["handle"], create=True).truncate(args["size"])
+        return None, None
+        yield  # pragma: no cover
+
+    def _h_read(self, args, payload):
+        handle, offset, nbytes = args["handle"], args["offset"], args["nbytes"]
+        if args.get("setup"):
+            yield from self.node.compute(self.cfg.request_setup_server)
+        fd = self.bstreams.get(handle)
+        if fd is None:
+            return 0, Payload(b"")
+        yield self.flow_pool.acquire()
+        try:
+            if self.cfg.cold_reads:
+                yield from self._disk_for(handle).io(
+                    handle * BSTREAM_STRIDE + offset, nbytes, write=False
+                )
+            data = fd.read(offset, nbytes)
+            yield from self.node.compute(DAEMON_COPY_PER_BYTE * data.nbytes)
+        finally:
+            self.flow_pool.release()
+        self.bytes_read += data.nbytes
+        return data.nbytes, data
+
+    def _h_write(self, args, payload):
+        handle, offset = args["handle"], args["offset"]
+        assert payload is not None, "write carries a payload"
+        nbytes = payload.nbytes
+        if args.get("setup"):
+            yield from self.node.compute(
+                self.cfg.request_setup_server + self.cfg.request_setup_write_extra
+            )
+        delta = 0
+        yield self.flow_pool.acquire()
+        try:
+            yield from self.node.compute(DAEMON_COPY_PER_BYTE * nbytes)
+            disk_idx = self._disk_index(handle)
+            # Overwrites of already-dirty bytes are free (the page is
+            # rewritten in memory); only newly-dirtied bytes need
+            # admission tokens.  The token acquire yields, and the
+            # flusher may drain (and even drop) this bstream's interval
+            # set meanwhile — so re-fetch and re-count until settled,
+            # then mutate with no yields in between.
+            acquired = 0
+            while True:
+                ivs = self._dirty[disk_idx].setdefault(handle, IntervalSet())
+                overlap = sum(
+                    e - s for s, e in ivs.runs_in(offset, offset + nbytes)
+                )
+                need = (nbytes - overlap) - acquired
+                if need <= 0:
+                    break
+                grant = min(need, self.dirty_tokens.capacity)
+                yield self.dirty_tokens.acquire(grant)
+                acquired += grant
+            self._bstream(handle, create=True).write(offset, payload)
+            if nbytes > 0:
+                before = ivs.total
+                ivs.add(offset, offset + nbytes)
+                delta = ivs.total - before
+                self._pending_bytes += delta
+                if acquired > delta:
+                    self.dirty_tokens.release(acquired - delta)
+        finally:
+            self.flow_pool.release()
+        if delta > 0:
+            if self._dirty_signal[disk_idx] is not None:
+                self._dirty_signal[disk_idx].succeed()
+                self._dirty_signal[disk_idx] = None
+        self.bytes_written += nbytes
+        return nbytes, None
+
+    def persisted_bytes(self, handle: int) -> int:
+        """Bytes of ``handle`` known to be on a platter (introspection)."""
+        ivs = self._persisted.get(handle)
+        return ivs.total if ivs is not None else 0
+
+    def crash(self) -> None:
+        """Fail-stop crash: all buffered (non-persisted) data is lost.
+
+        The daemon restarts immediately with only the on-disk state —
+        the failure mode §5's durability discussion trades against:
+        "many scientific applications can re-create lost data, so PVFS2
+        buffers data on storage nodes".  In-flight flush barriers fail
+        with an I/O error that propagates to the caller's fsync.
+        """
+        self.crashes += 1
+        for handle, fd in self.bstreams.items():
+            survived = self._persisted.get(handle, IntervalSet())
+            # Lost ranges read back as zeros after the restart.
+            for s, e in survived.gaps(0, fd.size):
+                if fd.exact:
+                    fd.write(s, Payload(b"\x00" * (e - s)))
+        # Dirty buffers are gone; admission tokens return to the pool.
+        for per_disk in self._dirty:
+            per_disk.clear()
+        if self.dirty_tokens.in_use:
+            self.dirty_tokens.release(self.dirty_tokens.in_use)
+        self._pending_bytes = 0
+        waiters, self._drain_waiters = self._drain_waiters, []
+        from repro.vfs.api import FsError
+
+        for ev in waiters:
+            ev.fail(FsError(f"{self.name}: storage daemon crashed during flush"))
+
+    def _h_flush(self, args, payload):
+        """Barrier: returns once the dirty backlog fits the disk's own
+        write cache (ATA drives acknowledge from cache — see config).
+        Issuing the flush costs trove a request-setup's worth of work."""
+        yield from self.node.compute(self.cfg.request_setup_server)
+        if self._pending_bytes <= self.cfg.disk_cache_bytes:
+            return None, None
+        ev = Event(self.sim)
+        self._drain_waiters.append(ev)
+        yield ev
+        return None, None
+
+    # -- write-behind ------------------------------------------------------
+    def _flusher(self, disk_idx: int):
+        dirty = self._dirty[disk_idx]
+        sweep_pos: tuple[int, int] = (0, 0)
+        while True:
+            while not any(dirty.values()):
+                self._dirty_signal[disk_idx] = Event(self.sim)
+                yield self._dirty_signal[disk_idx]
+            # C-SCAN elevator over (bstream, offset): keep sweeping
+            # forward from the last serviced position, wrap when past
+            # the end.  Interval sets have already merged contiguous
+            # arrivals, so each pick is a maximal sequential run.
+            candidates = [
+                (h, next(iter(ivs))[0]) for h, ivs in dirty.items() if ivs
+            ]
+            ahead = [c for c in candidates if c >= sweep_pos]
+            handle, start = min(ahead) if ahead else min(candidates)
+            ivs = dirty[handle]
+            start, end = next(iter(ivs))
+            nbytes = min(end - start, FLUSH_COALESCE)
+            ivs.remove(start, start + nbytes)
+            if not ivs:
+                del dirty[handle]
+            sweep_pos = (handle, start + nbytes)
+            yield from self._disk_for(handle).io(
+                handle * BSTREAM_STRIDE + start, nbytes, write=True
+            )
+            self._persisted.setdefault(handle, IntervalSet()).add(
+                start, start + nbytes
+            )
+            release = min(nbytes, self.dirty_tokens.in_use)
+            if release > 0:
+                self.dirty_tokens.release(release)
+            # The clamps guard the crash path: a crash mid-io zeroes the
+            # accounting while this extent is still on the arm.
+            self._pending_bytes = max(0, self._pending_bytes - nbytes)
+            if self._pending_bytes <= self.cfg.disk_cache_bytes and self._drain_waiters:
+                waiters, self._drain_waiters = self._drain_waiters, []
+                for ev in waiters:
+                    ev.succeed()

@@ -1,0 +1,201 @@
+"""Generic request/response RPC over the simulated network.
+
+Both protocol families in the reproduction — the PVFS2 storage protocol
+(BMI-style) and NFSv4.1 (ONC RPC) — are built on this layer.  A call
+charges, in order:
+
+1. client CPU: per-call marshalling + per-byte copy of the request
+   payload,
+2. the wire: request bytes from client node to server node,
+3. a server worker thread (FIFO; the paper's servers run 8), holding it
+   while charging server CPU (per-call + per-byte in), running the
+   handler (which may perform disk I/O or nested RPCs), and charging
+   per-byte CPU for the reply,
+4. the wire: reply bytes back to the client,
+5. client CPU: per-byte copy of the reply payload.
+
+Handlers are simulation generators ``handler(args, payload)`` returning
+``(result, reply_payload)`` where ``reply_payload`` is a
+:class:`~repro.vfs.api.Payload` or ``None``.  Raising an
+:class:`~repro.vfs.api.FsError` inside a handler propagates the error
+to the caller of :func:`call` (transported in the reply, charged at
+header size), mirroring NFS status codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.sim.resources import Resource
+from repro.vfs.api import FsError, Payload
+
+__all__ = ["RpcCosts", "RpcServer", "call"]
+
+#: Bytes of header/marshalling attributed to every request and reply.
+HEADER_BYTES = 160
+
+
+@dataclass(frozen=True)
+class RpcCosts:
+    """CPU cost model for one protocol stack (reference-speed seconds).
+
+    ``*_per_call`` covers marshalling, context switches and interrupt
+    handling; ``*_per_byte`` covers data copies (user↔kernel↔NIC).
+    ``server_per_byte_in``/``_out`` override the symmetric
+    ``server_per_byte`` for asymmetric paths (gateway data servers whose
+    write and read pipelines differ).  The calibrated values live in
+    :mod:`repro.cluster.testbed`.
+    """
+
+    client_per_call: float = 20e-6
+    client_per_byte: float = 4e-9
+    server_per_call: float = 25e-6
+    server_per_byte: float = 4e-9
+    server_per_byte_in: Optional[float] = None
+    server_per_byte_out: Optional[float] = None
+
+    @property
+    def per_byte_in(self) -> float:
+        """Server CPU per request-payload byte (write path)."""
+        return self.server_per_byte_in if self.server_per_byte_in is not None else self.server_per_byte
+
+    @property
+    def per_byte_out(self) -> float:
+        """Server CPU per reply-payload byte (read path)."""
+        return self.server_per_byte_out if self.server_per_byte_out is not None else self.server_per_byte
+
+
+class RpcServer:
+    """A named service with a FIFO worker-thread pool on a node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        name: str,
+        costs: RpcCosts,
+        threads: int = 8,
+    ):
+        self.sim = sim
+        self.node = node
+        self.name = name
+        self.costs = costs
+        self.threads = Resource(sim, threads, name=f"{name}.threads")
+        self._handlers: dict[str, Callable] = {}
+        self.calls_served = 0
+
+    def register(self, proc: str, handler: Callable) -> None:
+        """Register generator ``handler(args, payload)`` for ``proc``."""
+        if proc in self._handlers:
+            raise ValueError(f"{self.name}: duplicate handler for {proc!r}")
+        self._handlers[proc] = handler
+
+    def handler(self, proc: str) -> Callable:
+        try:
+            return self._handlers[proc]
+        except KeyError:
+            raise KeyError(f"{self.name}: no handler for procedure {proc!r}") from None
+
+
+def call(
+    client_node: Node,
+    server: RpcServer,
+    proc: str,
+    args: object = None,
+    payload: Optional[Payload] = None,
+    args_bytes: int = 64,
+):
+    """Process generator performing one RPC; returns the handler result.
+
+    ``payload`` rides in the request (writes); the handler's reply
+    payload rides in the response (reads).  The returned value is
+    ``(result, reply_payload)`` exactly as produced by the handler.
+    """
+    sim = client_node.sim
+    handler = server.handler(proc)  # fail fast on bad procedure
+    costs = server.costs
+    req_payload_bytes = payload.nbytes if payload is not None else 0
+    req_bytes = HEADER_BYTES + args_bytes + req_payload_bytes
+    from repro.tracing import current_tracer
+
+    tracer = current_tracer()
+    t_start = sim.now
+
+    # 1. Client-side marshalling, then copy-out OVERLAPPED with the
+    #    request transfer: real stacks stream while copying, so wall
+    #    time is max(copy, wire), with the CPU held for the copy part.
+    yield from client_node.compute(costs.client_per_call)
+    request_legs = [
+        sim.process(
+            client_node.network.transfer(client_node.name, server.node.name, req_bytes)
+        )
+    ]
+    if req_payload_bytes:
+        request_legs.append(
+            sim.process(
+                client_node.compute(costs.client_per_byte * req_payload_bytes)
+            )
+        )
+    yield sim.all_of(request_legs)
+
+    # 2. Server processing under a worker thread.
+    yield server.threads.acquire()
+    error: Optional[FsError] = None
+    result = None
+    reply_payload: Optional[Payload] = None
+    try:
+        yield from server.node.compute(
+            costs.server_per_call + costs.per_byte_in * req_payload_bytes
+        )
+        try:
+            result, reply_payload = yield from handler(args, payload)
+        except FsError as exc:
+            error = exc
+        # 3. Reply: server copy-out, wire, and client copy-in all
+        #    overlap (chunk-pipelined), while the thread stays busy.
+        reply_payload_bytes = reply_payload.nbytes if reply_payload is not None else 0
+        reply_bytes = HEADER_BYTES + reply_payload_bytes
+        reply_legs = [
+            sim.process(
+                client_node.network.transfer(
+                    server.node.name, client_node.name, reply_bytes
+                )
+            )
+        ]
+        if reply_payload_bytes:
+            reply_legs.append(
+                sim.process(
+                    server.node.compute(costs.per_byte_out * reply_payload_bytes)
+                )
+            )
+            reply_legs.append(
+                sim.process(
+                    client_node.compute(costs.client_per_byte * reply_payload_bytes)
+                )
+            )
+        yield sim.all_of(reply_legs)
+        server.calls_served += 1
+    finally:
+        server.threads.release()
+
+    if tracer is not None:
+        from repro.tracing import RpcRecord
+
+        tracer.record(
+            RpcRecord(
+                start=t_start,
+                end=sim.now,
+                client=client_node.name,
+                server=server.name,
+                proc=proc,
+                req_bytes=req_payload_bytes,
+                reply_bytes=reply_payload.nbytes if reply_payload is not None else 0,
+                error=error is not None,
+            )
+        )
+    if error is not None:
+        raise error
+    return result, reply_payload

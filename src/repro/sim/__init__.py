@@ -1,0 +1,57 @@
+"""Discrete-event cluster simulation substrate.
+
+This package provides the performance layer of the reproduction: a
+deterministic discrete-event engine (:mod:`repro.sim.engine`), resource
+primitives (:mod:`repro.sim.resources`), and hardware models — network
+(:mod:`repro.sim.network`), disk (:mod:`repro.sim.disk`), CPU
+(:mod:`repro.sim.cpu`) — composed into cluster nodes
+(:mod:`repro.sim.node`) with measurement helpers
+(:mod:`repro.sim.stats`).
+
+All protocol implementations (NFSv4, pNFS, PVFS2, Direct-pNFS) run as
+processes on this engine, so that the same code path serves both the
+functional tests and the performance experiments.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store, TokenBucket
+from repro.sim.network import Network, Nic, Flow
+from repro.sim.disk import Disk, DiskSpec
+from repro.sim.cpu import Cpu, CpuSpec
+from repro.sim.node import Node, NodeSpec
+from repro.sim.stats import Counter, ThroughputMeter, LatencyRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Cpu",
+    "CpuSpec",
+    "Disk",
+    "DiskSpec",
+    "Event",
+    "Flow",
+    "Interrupt",
+    "LatencyRecorder",
+    "Network",
+    "Nic",
+    "Node",
+    "NodeSpec",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "ThroughputMeter",
+    "Timeout",
+    "TokenBucket",
+]

@@ -1,0 +1,426 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine follows the classic process-interaction style popularised by
+SimPy: simulation activities are Python generators that ``yield`` events
+(timeouts, resource grants, other processes) and are resumed when those
+events fire.  We implement our own small kernel rather than depending on
+SimPy so the repository is self-contained and the scheduling semantics
+are fully under test.
+
+Determinism
+-----------
+Events scheduled for the same instant fire in FIFO order of scheduling
+(a monotonically increasing sequence number breaks time ties), so a
+simulation configured with a seeded RNG is exactly reproducible.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim, results):
+        yield sim.timeout(2.0)
+        results.append(sim.now)
+
+    out = []
+    sim.process(worker(sim, out))
+    sim.run()
+    assert out == [2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for engine-level misuse (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupted process may catch the exception and continue; the
+    ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0  # created, not yet triggered
+_TRIGGERED = 1  # scheduled on the event queue
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events carry a ``value`` (delivered to yielding processes) and an
+    ``ok`` flag.  Failed events (``ok is False``) propagate their value
+    as an exception into every process waiting on them, unless the
+    failure is *defused* by a waiter that handles it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "ok", "_state", "_defused", "_abandon")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self.ok: bool = True
+        self._state = _PENDING
+        self._defused = False
+        #: Optional hook invoked when the sole waiter detaches (process
+        #: interrupt) — lets resource-like owners reclaim a grant that
+        #: nobody will consume.
+        self._abandon: Optional[Callable[["Event"], None]] = None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def value(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError("value of untriggered event")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.ok = True
+        self._state = _TRIGGERED
+        self.sim._enqueue(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self.ok = False
+        self._state = _TRIGGERED
+        self.sim._enqueue(self, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- engine internals ----------------------------------------------
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if not self.ok and not self._defused:
+            # Nobody caught the failure: surface it to the caller of run().
+            raise self._value
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Invoke ``fn(event)`` when the event fires.
+
+        If the event already fired, the callback runs immediately.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self.ok = True
+        self._state = _TRIGGERED
+        sim._enqueue(self, delay)
+
+
+class Process(Event):
+    """A running simulation activity wrapping a generator.
+
+    A process is itself an event: it fires when the generator returns
+    (value = the generator's return value) or raises (failure).  Other
+    processes may therefore ``yield`` a process to join it.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the process at the current instant.
+        init = Event(sim)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event (the
+        event may still fire later and is ignored by this process).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self._waiting_on is self:
+            raise SimulationError("process cannot interrupt itself synchronously")
+        interrupt_ev = Event(self.sim)
+        interrupt_ev.ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev._state = _TRIGGERED
+        # Detach from whatever we were waiting on.
+        target = self._waiting_on
+        if target is not None:
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            if target._abandon is not None:
+                target._abandon(target)
+        self._waiting_on = None
+        self.sim._enqueue(interrupt_ev, 0.0, urgent=True)
+        interrupt_ev.add_callback(self._resume)
+
+    # -- engine internals ----------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            try:
+                self._generator.throw(error)
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            raise error
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from two simulators")
+        self._pending_count = len(self.events)
+        if not self.events:
+            self.succeed(())
+        else:
+            for ev in self.events:
+                ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired.
+
+    Its value is a tuple of the constituent values in construction
+    order.  If any constituent fails, the condition fails with that
+    exception.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed(tuple(ev._value for ev in self.events))
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one constituent event fires.
+
+    Its value is ``(index, value)`` of the first event to fire.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self.succeed((self.events.index(event), event._value))
+
+
+class Simulator:
+    """The event loop: a heap of (time, priority, seq, event) entries.
+
+    ``seed`` initialises the simulation-wide RNG used by stochastic
+    components (e.g. randomised network-pipe arbitration); runs with the
+    same seed are exactly reproducible.
+    """
+
+    def __init__(self, seed: int = 20070625):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        import numpy as _np
+
+        self.rng = _np.random.default_rng(seed)
+
+    # -- event constructors ---------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start ``generator`` as a process at the current instant."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, urgent: bool = False) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay!r}s in the past")
+        heapq.heappush(
+            self._queue, (self.now + delay, 0 if urgent else 1, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - heap guarantees ordering
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = when
+        event._process_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a number (stop when
+        simulated time would exceed it; ``now`` is set to the deadline),
+        or an :class:`Event` (stop when it fires and return its value).
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event._value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self.now:
+                raise SimulationError(
+                    f"run(until={deadline}) is in the past (now={self.now})"
+                )
+
+        while self._queue:
+            if self._queue[0][0] > deadline:
+                self.now = deadline
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event._value
+                return stop_event._value
+        if stop_event is not None:
+            raise SimulationError(
+                "run() ran out of events before the awaited event fired"
+            )
+        if deadline != float("inf"):
+            self.now = deadline
+        return None

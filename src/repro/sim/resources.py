@@ -1,0 +1,248 @@
+"""Resource primitives for the simulation engine.
+
+Three primitives cover every queueing structure in the reproduction:
+
+* :class:`Resource` — a FIFO counting semaphore (CPU cores, disk arms,
+  NFS server threads, NFSv4.1 session slots, PVFS2 buffer pools).
+* :class:`Store` — a FIFO queue of items with optional capacity
+  (request queues between daemons).
+* :class:`TokenBucket` — byte-rate limiting (used in tests and for
+  optional client throttling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "TokenBucket"]
+
+
+class Resource:
+    """Counting semaphore with FIFO (default) or randomised arbitration.
+
+    Usage from a process::
+
+        yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+
+    ``acquire(n)`` atomically claims ``n`` units (granted only when all
+    ``n`` are free, still in FIFO order, so large requests are not
+    starved).
+
+    ``policy="random"`` grants a uniformly random eligible waiter
+    instead of the oldest — used by the network pipes, where packet
+    interleaving is not per-flow round-robin at millisecond scale.  The
+    randomness is what lets co-scheduled identical clients drift apart
+    instead of convoying in deterministic lockstep.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1,
+        name: str = "",
+        policy: str = "fifo",
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in ("fifo", "random"):
+            raise ValueError(f"unknown arbitration policy {policy!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.policy = policy
+        self._in_use = 0
+        self._waiters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Units currently free."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        """Number of acquire requests waiting."""
+        return len(self._waiters)
+
+    def acquire(self, units: int = 1) -> Event:
+        """Return an event that fires when ``units`` are granted.
+
+        If the waiting process is interrupted, the pending request is
+        withdrawn (or, if already granted, the units are returned) —
+        no leak.
+        """
+        if units < 1 or units > self.capacity:
+            raise ValueError(
+                f"cannot acquire {units} units of {self.name or 'resource'} "
+                f"with capacity {self.capacity}"
+            )
+        ev = Event(self.sim)
+        ev._abandon = lambda event, n=units: self._abandon_acquire(event, n)
+        if not self._waiters and self._in_use + units <= self.capacity:
+            self._in_use += units
+            ev.succeed(units)
+        else:
+            self._waiters.append((ev, units))
+        return ev
+
+    def _abandon_acquire(self, ev: Event, units: int) -> None:
+        """The waiter was interrupted: withdraw or return the grant."""
+        for i, (waiting_ev, _units) in enumerate(self._waiters):
+            if waiting_ev is ev:
+                del self._waiters[i]
+                return
+        if ev.triggered:
+            # Grant already made but never consumed.
+            self.release(units)
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` to the pool and wake FIFO waiters."""
+        if units < 1 or units > self._in_use:
+            raise SimulationError(
+                f"release({units}) with only {self._in_use} in use "
+                f"on {self.name or 'resource'}"
+            )
+        self._in_use -= units
+        if self.policy == "random":
+            while self._waiters:
+                eligible = [
+                    i
+                    for i, (_ev, want) in enumerate(self._waiters)
+                    if self._in_use + want <= self.capacity
+                ]
+                if not eligible:
+                    break
+                idx = eligible[int(self.sim.rng.integers(0, len(eligible)))]
+                ev, want = self._waiters[idx]
+                del self._waiters[idx]
+                self._in_use += want
+                ev.succeed(want)
+            return
+        while self._waiters:
+            ev, want = self._waiters[0]
+            if self._in_use + want > self.capacity:
+                break
+            self._waiters.popleft()
+            self._in_use += want
+            ev.succeed(want)
+
+
+class Store:
+    """FIFO item queue with optional capacity bound.
+
+    ``put`` returns an event that fires when the item is accepted
+    (immediately if there is room); ``get`` returns an event that fires
+    with the oldest item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        if capacity < 1:
+            raise ValueError("store capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Queue ``item``; event fires when accepted."""
+        ev = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(item)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(item)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Event firing with the oldest available item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            # Admission of a blocked putter now that there is room.
+            if self._putters and len(self._items) < self.capacity:
+                put_ev, item = self._putters.popleft()
+                self._items.append(item)
+                put_ev.succeed(item)
+        elif self._putters:
+            put_ev, item = self._putters.popleft()
+            put_ev.succeed(item)
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class TokenBucket:
+    """Byte-rate limiter: ``take(n)`` completes at ``n / rate`` pacing.
+
+    The bucket accumulates capacity at ``rate`` units/second up to
+    ``burst`` units; a take larger than the burst is paced in slices.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        burst: Optional[float] = None,
+        name: str = "",
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.burst = burst if burst is not None else rate
+        self.name = name
+        self._tokens = self.burst
+        self._last_refill = sim.now
+        self._gate = Resource(sim, 1, name=f"{name}.gate")
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    def take(self, amount: float):
+        """Process generator: consume ``amount`` units at the bucket rate."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        yield self._gate.acquire()
+        try:
+            remaining = amount
+            # Epsilon guards against float residue spinning the loop
+            # without advancing simulated time.
+            while remaining > 1e-9:
+                self._refill()
+                need = min(remaining, self.burst)
+                if self._tokens + 1e-12 < need:
+                    yield self.sim.timeout((need - self._tokens) / self.rate)
+                    self._refill()
+                take = min(need, self._tokens)
+                self._tokens -= take
+                remaining -= take
+        finally:
+            self._gate.release()

@@ -1,0 +1,89 @@
+"""Measurement helpers: counters, throughput meters, latency recorders.
+
+The benchmark harness reports what the paper reports: aggregate
+throughput in MB/s (decimal megabytes, total payload bytes divided by
+the makespan of the client group), wall-clock runtimes, and
+transactions per second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "ThroughputMeter", "LatencyRecorder", "MB"]
+
+#: One decimal megabyte — the unit of every figure in the paper.
+MB = 1e6
+
+
+@dataclass
+class Counter:
+    """Named monotonic counter."""
+
+    name: str = ""
+    value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class ThroughputMeter:
+    """Accumulates completed payload bytes with their completion times.
+
+    ``aggregate_mbps(start, end)`` reproduces the paper's metric:
+    total bytes moved by all clients divided by the group makespan.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.total_bytes = 0
+        self.first_at = math.inf
+        self.last_at = -math.inf
+
+    def record(self, nbytes: int, now: float) -> None:
+        """Record ``nbytes`` of payload completed at time ``now``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.total_bytes += nbytes
+        self.first_at = min(self.first_at, now)
+        self.last_at = max(self.last_at, now)
+
+    def aggregate_mbps(self, start: float, end: float) -> float:
+        """Total MB moved divided by the ``end - start`` makespan."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        return (self.total_bytes / MB) / (end - start)
+
+
+class LatencyRecorder:
+    """Stores operation durations; offers mean and percentiles."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        self.samples.append(duration)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            raise ValueError("no samples")
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]

@@ -1,0 +1,106 @@
+"""RPC tracing: capture every call on the simulated wire and analyse it.
+
+Performance debugging in this repository is about *which RPCs went
+where and how long they took*.  Install a tracer around any simulated
+activity::
+
+    from repro.tracing import RpcTracer
+
+    with RpcTracer() as tracer:
+        sim.run(until=proc)
+    print(tracer.summary())
+
+Records carry (start, end, client node, server name, procedure, request
+payload bytes, reply payload bytes, error flag).  The analysis helpers
+aggregate by procedure and by server — enough to answer "why is this
+workload slow" without reading event logs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RpcRecord", "RpcTracer", "current_tracer"]
+
+_ACTIVE: Optional["RpcTracer"] = None
+
+
+def current_tracer() -> Optional["RpcTracer"]:
+    """The installed tracer, if any (used by :mod:`repro.rpc`)."""
+    return _ACTIVE
+
+
+@dataclass(frozen=True)
+class RpcRecord:
+    """One completed RPC."""
+
+    start: float
+    end: float
+    client: str
+    server: str
+    proc: str
+    req_bytes: int
+    reply_bytes: int
+    error: bool
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+class RpcTracer:
+    """Context manager collecting :class:`RpcRecord` entries."""
+
+    def __init__(self):
+        self.records: list[RpcRecord] = []
+
+    # -- installation ------------------------------------------------------
+    def __enter__(self) -> "RpcTracer":
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("an RpcTracer is already installed")
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+
+    def record(self, record: RpcRecord) -> None:
+        self.records.append(record)
+
+    # -- analysis -------------------------------------------------------------
+    def by_proc(self) -> dict[str, list[RpcRecord]]:
+        out: dict[str, list[RpcRecord]] = defaultdict(list)
+        for r in self.records:
+            out[r.proc].append(r)
+        return dict(out)
+
+    def by_server(self) -> dict[str, list[RpcRecord]]:
+        out: dict[str, list[RpcRecord]] = defaultdict(list)
+        for r in self.records:
+            out[r.server].append(r)
+        return dict(out)
+
+    def total_payload_bytes(self) -> int:
+        return sum(r.req_bytes + r.reply_bytes for r in self.records)
+
+    def summary(self) -> str:
+        """Per-procedure table: count, mean latency, payload volume."""
+        lines = [
+            f"{'procedure':>16} {'calls':>7} {'mean ms':>9} {'p95 ms':>9} "
+            f"{'MB moved':>9} {'errors':>7}"
+        ]
+        for proc, records in sorted(self.by_proc().items()):
+            lat = sorted(r.latency for r in records)
+            mean = sum(lat) / len(lat)
+            p95 = lat[min(len(lat) - 1, int(0.95 * len(lat)))]
+            volume = sum(r.req_bytes + r.reply_bytes for r in records) / 1e6
+            errors = sum(r.error for r in records)
+            lines.append(
+                f"{proc:>16} {len(records):>7} {mean * 1e3:>9.2f} "
+                f"{p95 * 1e3:>9.2f} {volume:>9.1f} {errors:>7}"
+            )
+        return "\n".join(lines)

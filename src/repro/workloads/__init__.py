@@ -1,0 +1,39 @@
+"""Workload generators for the paper's evaluation (§6).
+
+Each workload implements :class:`~repro.workloads.base.Workload` and is
+written against the generic :class:`~repro.vfs.api.FileSystemClient`
+interface, so the identical workload code runs over all five
+architectures:
+
+* :mod:`repro.workloads.ior` — the IOR micro-benchmark (§6.2),
+* :mod:`repro.workloads.atlas` — ATLAS detector-simulation
+  digitization write trace replay (§6.3.1),
+* :mod:`repro.workloads.btio` — NAS Parallel Benchmark BTIO (§6.3.2),
+* :mod:`repro.workloads.oltp` — 8 KB read-modify-write transactions
+  (§6.4.1),
+* :mod:`repro.workloads.postmark` — metadata/small-I/O file-server mix
+  (§6.4.2),
+* :mod:`repro.workloads.sshbuild` — the SSH-build style
+  uncompress/configure/build phases (§6.4.3).
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.ior import IorWorkload
+from repro.workloads.atlas import AtlasWorkload
+from repro.workloads.btio import BtioWorkload
+from repro.workloads.mdtest import MdtestWorkload
+from repro.workloads.oltp import OltpWorkload
+from repro.workloads.postmark import PostmarkWorkload
+from repro.workloads.sshbuild import SshBuildWorkload
+
+__all__ = [
+    "AtlasWorkload",
+    "BtioWorkload",
+    "IorWorkload",
+    "MdtestWorkload",
+    "OltpWorkload",
+    "PostmarkWorkload",
+    "SshBuildWorkload",
+    "Workload",
+    "WorkloadResult",
+]

@@ -1,0 +1,60 @@
+"""Workload interface.
+
+A workload is architecture-agnostic: it only sees
+:class:`~repro.vfs.api.FileSystemClient` instances.  The benchmark
+runner calls ``prepare`` once (through an extra "admin" client — e.g.
+pre-creating the files a read experiment will read, which also warms
+the server caches exactly as the paper's warm-cache read experiments
+require), then starts ``client_proc`` simultaneously on every client.
+
+All workloads accept a ``scale`` factor that shrinks data volumes and
+operation counts proportionally, so the test suite can exercise them
+quickly while benchmark runs use larger (or full) scale.  Random
+streams are seeded per (workload, client) — runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vfs.api import FileSystemClient
+
+__all__ = ["Workload", "WorkloadResult"]
+
+
+@dataclass
+class WorkloadResult:
+    """Per-client outcome of one workload run."""
+
+    bytes_moved: int = 0
+    transactions: int = 0
+    #: Workload-specific measurements (phase timings, txn windows, ...).
+    extra: dict = field(default_factory=dict)
+
+
+class Workload(ABC):
+    """Base class for all benchmark workloads."""
+
+    name: str = "abstract"
+
+    def __init__(self, scale: float = 1.0, seed: int = 20070625):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+
+    def rng(self, client_idx: int) -> np.random.Generator:
+        """Deterministic per-client random stream."""
+        return np.random.default_rng((self.seed, hash(self.name) & 0xFFFF, client_idx))
+
+    def prepare(self, sim, admin: FileSystemClient, n_clients: int):
+        """Generator: one-time setup (directories, pre-created files)."""
+        return None
+        yield  # pragma: no cover
+
+    @abstractmethod
+    def client_proc(self, sim, fsc: FileSystemClient, client_idx: int, n_clients: int):
+        """Generator: one client's benchmark; returns a WorkloadResult."""

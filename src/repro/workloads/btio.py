@@ -1,0 +1,81 @@
+"""NAS Parallel Benchmarks BTIO (paper §6.3.2).
+
+Class A: 200 time steps checkpointing every five steps → 40 collective
+checkpoint appends producing a 400 MB file, using MPI-IO collective
+buffering so each I/O request is ≥ 1 MB.  The benchmark time also
+includes the ingestion and verification of the result file (a full
+read-back) — and, being a CFD code, a dominant compute phase between
+checkpoints which scales down with the number of clients.
+
+The runner reports *runtime* for BTIO (lower is better), matching
+Figure 8b.
+"""
+
+from __future__ import annotations
+
+from repro.vfs.api import FileSystemClient, Payload
+from repro.workloads.base import Workload, WorkloadResult
+
+__all__ = ["BtioWorkload"]
+
+MB = 1024 * 1024
+
+
+class BtioWorkload(Workload):
+    """Class-A BTIO: checkpointed collective writes + verification read."""
+
+    name = "btio"
+
+    def __init__(
+        self,
+        total_bytes: int = 400 * MB,
+        checkpoints: int = 40,
+        compute_seconds_per_checkpoint: float = 20.0,
+        scale: float = 1.0,
+        seed: int = 20070625,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.checkpoints = checkpoints
+        self.total_bytes = max(checkpoints * MB, int(total_bytes * scale))
+        self.step_bytes = self.total_bytes // checkpoints
+        self.compute_per_checkpoint = compute_seconds_per_checkpoint * scale
+
+    def prepare(self, sim, admin: FileSystemClient, n_clients: int):
+        yield from admin.mkdir("/btio")
+        f = yield from admin.create("/btio/out")
+        yield from admin.close(f)
+
+    def client_proc(self, sim, fsc: FileSystemClient, client_idx: int, n_clients: int):
+        f = yield from fsc.open("/btio/out")
+        slice_bytes = self.step_bytes // n_clients
+        moved = 0
+        for step in range(self.checkpoints):
+            # The CFD solve: embarrassingly parallel across clients.
+            if self.compute_per_checkpoint > 0:
+                yield sim.timeout(self.compute_per_checkpoint / n_clients)
+            # Collective buffering: each client writes one contiguous
+            # >= 1 MB aggregate chunk of this checkpoint's region.
+            offset = step * self.step_bytes + client_idx * slice_bytes
+            n = (
+                self.step_bytes - client_idx * slice_bytes
+                if client_idx == n_clients - 1
+                else slice_bytes
+            )
+            yield from fsc.write(f, offset, Payload.synthetic(n))
+            moved += n
+        yield from fsc.fsync(f)
+
+        # Ingestion + verification: read back this client's slices.
+        for step in range(self.checkpoints):
+            offset = step * self.step_bytes + client_idx * slice_bytes
+            n = (
+                self.step_bytes - client_idx * slice_bytes
+                if client_idx == n_clients - 1
+                else slice_bytes
+            )
+            data = yield from fsc.read(f, offset, n)
+            if data.nbytes != n:
+                raise RuntimeError(f"BTIO verification shortfall at step {step}")
+            moved += n
+        yield from fsc.close(f)
+        return WorkloadResult(bytes_moved=moved, transactions=self.checkpoints)

@@ -1,0 +1,125 @@
+"""Postmark macro-benchmark (paper §6.4.2).
+
+Simulates mail/news/web-service file activity: a pool of small files
+(1 KB–500 KB) spread over ten directories, then transactions that
+first delete, create, or open a file and then read or append 512
+bytes, with data sent to stable storage before each close.  The paper
+runs 2,000 transactions over 100 files per client and reports
+transactions per second, using 64 KB stripe/rsize/wsize.
+
+The transaction window (after the creation phase, before cleanup) is
+reported in ``extra['txn_start'] / extra['txn_end']`` so the harness
+can compute tps exactly as Postmark does.
+"""
+
+from __future__ import annotations
+
+from repro.vfs.api import FileSystemClient, NoEntry, Payload
+from repro.workloads.base import Workload, WorkloadResult
+
+__all__ = ["PostmarkWorkload"]
+
+KB = 1024
+
+
+class PostmarkWorkload(Workload):
+    """Metadata + small-I/O transaction mix."""
+
+    name = "postmark"
+
+    def __init__(
+        self,
+        transactions: int = 2000,
+        nfiles: int = 100,
+        ndirs: int = 10,
+        fmin: int = 1 * KB,
+        fmax: int = 500 * KB,
+        io_bytes: int = 512,
+        scale: float = 1.0,
+        seed: int = 20070625,
+    ):
+        super().__init__(scale=scale, seed=seed)
+        self.transactions = max(10, int(transactions * scale))
+        self.nfiles = max(10, int(nfiles * min(1.0, scale * 2)))
+        self.ndirs = ndirs
+        self.fmin = fmin
+        self.fmax = fmax
+        self.io_bytes = io_bytes
+
+    def prepare(self, sim, admin: FileSystemClient, n_clients: int):
+        yield from admin.mkdir("/postmark")
+        for c in range(n_clients):
+            yield from admin.mkdir(f"/postmark/c{c}")
+            for d in range(self.ndirs):
+                yield from admin.mkdir(f"/postmark/c{c}/d{d}")
+
+    def _create_file(self, fsc, rng, path: str):
+        size = int(rng.integers(self.fmin, self.fmax))
+        f = yield from fsc.create(path)
+        yield from fsc.write(f, 0, Payload.synthetic(size))
+        yield from fsc.fsync(f)  # data durable before close
+        yield from fsc.close(f)
+        return size
+
+    def client_proc(self, sim, fsc: FileSystemClient, client_idx: int, n_clients: int):
+        rng = self.rng(client_idx)
+        base = f"/postmark/c{client_idx}"
+        next_id = 0
+        files: dict[str, int] = {}  # path -> size
+
+        def new_path():
+            nonlocal next_id
+            d = int(rng.integers(0, self.ndirs))
+            path = f"{base}/d{d}/pm{next_id}"
+            next_id += 1
+            return path
+
+        # Phase 1: create the initial pool (not part of the tps window).
+        moved = 0
+        for _ in range(self.nfiles):
+            path = new_path()
+            size = yield from self._create_file(fsc, rng, path)
+            files[path] = size
+            moved += size
+
+        # Phase 2: transactions.
+        txn_start = sim.now
+        paths = list(files)
+        for _ in range(self.transactions):
+            if rng.random() < 0.5:
+                # create/delete class
+                if rng.random() < 0.5 and len(paths) > 1:
+                    victim = paths.pop(int(rng.integers(0, len(paths))))
+                    size = files.pop(victim)
+                    yield from fsc.remove(victim)
+                else:
+                    path = new_path()
+                    size = yield from self._create_file(fsc, rng, path)
+                    files[path] = size
+                    paths.append(path)
+                    moved += size
+            else:
+                # read/append class on a random existing file
+                path = paths[int(rng.integers(0, len(paths)))]
+                reading = rng.random() < 0.5
+                f = yield from fsc.open(path, write=not reading)
+                if reading:
+                    offset = int(rng.integers(0, max(1, files[path] - self.io_bytes)))
+                    yield from fsc.read(f, offset, self.io_bytes)
+                else:
+                    yield from fsc.write(f, files[path], Payload.synthetic(self.io_bytes))
+                    files[path] += self.io_bytes
+                    yield from fsc.fsync(f)
+                moved += self.io_bytes
+                yield from fsc.close(f)
+        txn_end = sim.now
+
+        # Phase 3: cleanup (not timed).
+        for path in paths:
+            yield from fsc.remove(path)
+
+        return WorkloadResult(
+            bytes_moved=moved,
+            transactions=self.transactions,
+            extra={"txn_start": txn_start, "txn_end": txn_end},
+        )

@@ -1,0 +1,203 @@
+"""I/O trace records, capture, replay, and (de)serialisation.
+
+The paper replays an application write trace (ATLAS digitization via
+IOZone, §6.3.1).  This module provides the general mechanism:
+
+* :class:`TraceOp` — one operation (op, path, offset, nbytes);
+* :class:`TraceRecorder` — wrap any
+  :class:`~repro.vfs.api.FileSystemClient` and record every call,
+  yielding a replayable trace of an arbitrary workload;
+* :func:`replay` — drive a trace against any client;
+* :func:`save_trace` / :func:`load_trace` — JSONL persistence, so
+  captured traces can ship with the repository.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, Iterable
+
+from repro.vfs.api import FileSystemClient, Payload
+
+__all__ = ["TraceOp", "TraceRecorder", "load_trace", "replay", "save_trace"]
+
+#: Operations a trace may contain.
+OPS = (
+    "create",
+    "open",
+    "read",
+    "write",
+    "fsync",
+    "close",
+    "mkdir",
+    "remove",
+    "rename",
+    "getattr",
+    "setattr",
+)
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One traced file-system operation."""
+
+    op: str
+    path: str = ""
+    offset: int = 0
+    nbytes: int = 0
+    dest: str = ""  # rename target
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"unknown trace op {self.op!r}")
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError("offset/nbytes must be >= 0")
+
+
+class TraceRecorder(FileSystemClient):
+    """Records every operation passing through to an inner client."""
+
+    label = "trace-recorder"
+
+    def __init__(self, inner: FileSystemClient):
+        self.inner = inner
+        self.ops: list[TraceOp] = []
+
+    # -- passthrough with recording --------------------------------------
+    def mount(self):
+        return (yield from self.inner.mount())
+
+    def create(self, path):
+        self.ops.append(TraceOp("create", path))
+        return (yield from self.inner.create(path))
+
+    def open(self, path, write: bool = True):
+        self.ops.append(TraceOp("open", path))
+        return (yield from self.inner.open(path, write=write))
+
+    def read(self, f, offset, nbytes):
+        self.ops.append(TraceOp("read", f.path, offset, nbytes))
+        return (yield from self.inner.read(f, offset, nbytes))
+
+    def write(self, f, offset, payload):
+        self.ops.append(TraceOp("write", f.path, offset, payload.nbytes))
+        return (yield from self.inner.write(f, offset, payload))
+
+    def fsync(self, f):
+        self.ops.append(TraceOp("fsync", f.path))
+        return (yield from self.inner.fsync(f))
+
+    def close(self, f):
+        self.ops.append(TraceOp("close", f.path))
+        return (yield from self.inner.close(f))
+
+    def getattr(self, path):
+        self.ops.append(TraceOp("getattr", path))
+        return (yield from self.inner.getattr(path))
+
+    def setattr(self, path, mode=None):
+        self.ops.append(TraceOp("setattr", path))
+        return (yield from self.inner.setattr(path, mode=mode))
+
+    def mkdir(self, path):
+        self.ops.append(TraceOp("mkdir", path))
+        return (yield from self.inner.mkdir(path))
+
+    def readdir(self, path):
+        return (yield from self.inner.readdir(path))
+
+    def remove(self, path):
+        self.ops.append(TraceOp("remove", path))
+        return (yield from self.inner.remove(path))
+
+    def rename(self, old, new):
+        self.ops.append(TraceOp("rename", old, dest=new))
+        return (yield from self.inner.rename(old, new))
+
+
+def replay(client: FileSystemClient, trace: Iterable[TraceOp]):
+    """Generator: drive ``trace`` against ``client``.
+
+    Open files are tracked by path; reads/writes to paths without an
+    explicit prior open are opened implicitly (as IOZone-style replays
+    expect).  Returns (ops_executed, bytes_moved).
+    """
+    open_files: dict[str, object] = {}
+    executed = 0
+    moved = 0
+
+    def get_open(path):
+        f = open_files.get(path)
+        return f
+
+    for op in trace:
+        executed += 1
+        if op.op == "create":
+            open_files[op.path] = yield from client.create(op.path)
+        elif op.op == "open":
+            open_files[op.path] = yield from client.open(op.path)
+        elif op.op == "read":
+            f = get_open(op.path)
+            if f is None:
+                f = yield from client.open(op.path)
+                open_files[op.path] = f
+            data = yield from client.read(f, op.offset, op.nbytes)
+            moved += data.nbytes
+        elif op.op == "write":
+            f = get_open(op.path)
+            if f is None:
+                from repro.vfs.api import NoEntry
+
+                try:
+                    f = yield from client.open(op.path)
+                except NoEntry:
+                    f = yield from client.create(op.path)
+                open_files[op.path] = f
+            yield from client.write(f, op.offset, Payload.synthetic(op.nbytes))
+            moved += op.nbytes
+        elif op.op == "fsync":
+            f = get_open(op.path)
+            if f is not None:
+                yield from client.fsync(f)
+        elif op.op == "close":
+            f = open_files.pop(op.path, None)
+            if f is not None:
+                yield from client.close(f)
+        elif op.op == "mkdir":
+            yield from client.mkdir(op.path)
+        elif op.op == "remove":
+            open_files.pop(op.path, None)
+            yield from client.remove(op.path)
+        elif op.op == "rename":
+            yield from client.rename(op.path, op.dest)
+            if op.path in open_files:
+                open_files[op.dest] = open_files.pop(op.path)
+        elif op.op == "getattr":
+            yield from client.getattr(op.path)
+        elif op.op == "setattr":
+            yield from client.setattr(op.path)
+    # Close any stragglers so cached data reaches the servers.
+    for f in list(open_files.values()):
+        yield from client.close(f)
+    return executed, moved
+
+
+def save_trace(fh: IO[str], trace: Iterable[TraceOp]) -> int:
+    """Write a trace as JSON lines; returns the number of records."""
+    count = 0
+    for op in trace:
+        fh.write(json.dumps(asdict(op), separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+def load_trace(fh: IO[str]) -> list[TraceOp]:
+    """Read a JSONL trace written by :func:`save_trace`."""
+    out = []
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        out.append(TraceOp(**json.loads(line)))
+    return out

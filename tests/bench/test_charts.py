@@ -1,0 +1,57 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+
+from repro.bench.charts import bar, render_series
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(10, 10, width=10) == "#" * 10
+        assert bar(0, 10, width=10) == " " * 10
+
+    def test_half(self):
+        assert bar(5, 10, width=10).count("#") == 5
+
+    def test_marker_rendered(self):
+        out = bar(2, 10, width=10, marker=8)
+        assert out[8] == "|"
+
+    def test_marker_inside_fill_overrides(self):
+        out = bar(10, 10, width=10, marker=5)
+        assert out[5] == "|"
+        assert out.count("#") == 9
+
+    def test_overflow_clamped(self):
+        assert bar(20, 10, width=10) == "#" * 10
+
+    def test_invalid_max(self):
+        with pytest.raises(ValueError):
+            bar(1, 0)
+
+
+class TestRenderSeries:
+    def test_renders_measured_and_reference(self):
+        res = ExperimentResult(
+            experiment=EXPERIMENTS["fig8a"],
+            scale=0.1,
+            values={
+                "direct-pnfs": {1: 45.0, 4: 93.0, 8: 102.0},
+                "pvfs2": {1: 33.0, 4: 48.0, 8: 49.0},
+            },
+            raw={},
+        )
+        out = render_series(res)
+        assert "fig8a" in out
+        assert "direct-pnfs" in out and "pvfs2" in out
+        assert "#" in out and "|" in out
+        assert "102.0" in out
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(["run", "fig8a", "--scale", "0.02", "--clients", "1", "--chart"])
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert rc in (0, 1)

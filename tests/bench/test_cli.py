@@ -1,0 +1,36 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "direct-pnfs" in out
+        assert "fig6a" in out
+        assert "postmark" in out
+
+    def test_cell(self, capsys):
+        rc = main(
+            ["cell", "direct-pnfs", "ior-write", "--clients", "2", "--scale", "0.02"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aggregate" in out
+
+    def test_run_small_panel(self, capsys):
+        rc = main(["run", "fig8a", "--scale", "0.02", "--clients", "1,2"])
+        out = capsys.readouterr().out
+        assert "fig8a" in out
+        assert rc in (0, 1)  # shape checks may not hold at tiny scale
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cell", "direct-pnfs", "nope"])

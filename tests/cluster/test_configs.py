@@ -1,0 +1,126 @@
+"""Tests for the testbed model and the five architecture builders."""
+
+import pytest
+
+from repro.cluster.configs import ARCHITECTURES, make_deployment
+from repro.cluster.testbed import FAST_ETHERNET, GIGE, Testbed
+from repro.vfs import Payload
+
+from tests.conftest import drive
+
+
+class TestTestbed:
+    def test_standard_layout(self):
+        tb = Testbed(n_clients=8)
+        assert len(tb.server_nodes) == 6
+        assert len(tb.storage_nodes) == 6
+        assert all(len(n.disks) == 1 for n in tb.storage_nodes)
+        assert len(tb.client_nodes) == 8
+
+    def test_three_tier_layout(self):
+        tb = Testbed(server_disks=(0, 0, 0, 2, 2, 2))
+        assert len(tb.storage_nodes) == 3
+        assert len(tb.diskless_server_nodes) == 3
+        assert all(len(n.disks) == 2 for n in tb.storage_nodes)
+        # nodes + disks constant: 6 nodes, 6 disks (paper §6.1)
+        assert sum(len(n.disks) for n in tb.server_nodes) == 6
+
+    def test_client_cpu_classes(self):
+        tb = Testbed(n_clients=9)
+        assert tb.client_nodes[0].cpu.spec.speed == pytest.approx(1.3)
+        assert tb.client_nodes[8].cpu.spec.speed == pytest.approx(1.7)
+
+    def test_client_count_bounds(self):
+        with pytest.raises(ValueError):
+            Testbed(n_clients=0)
+        with pytest.raises(ValueError):
+            Testbed(n_clients=10)
+
+    def test_network_speed_applies(self):
+        tb = Testbed(net_bw=FAST_ETHERNET)
+        assert tb.server_nodes[0].nic.bandwidth == FAST_ETHERNET
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+class TestArchitectures:
+    def test_end_to_end_roundtrip(self, arch):
+        """Every architecture runs the same application correctly."""
+        dep = make_deployment(arch, n_clients=2)
+        tb = dep.testbed
+        c0 = dep.make_client(tb.client_nodes[0])
+        c1 = dep.make_client(tb.client_nodes[1])
+        blob = bytes(range(256)) * 64  # 16 KB
+
+        def scenario():
+            yield from c0.mount()
+            yield from c1.mount()
+            yield from c0.mkdir("/x")
+            f = yield from c0.create("/x/file")
+            yield from c0.write(f, 0, Payload(blob))
+            yield from c0.fsync(f)
+            yield from c0.close(f)
+            g = yield from c1.open("/x/file")
+            data = yield from c1.read(g, 0, len(blob))
+            attrs = yield from c1.getattr("/x/file")
+            return data, attrs
+
+        data, attrs = drive(tb.sim, scenario())
+        assert data.data == blob
+        assert attrs.size == len(blob)
+        assert dep.label == arch
+
+    def test_data_lands_in_the_shared_backend(self, arch):
+        """All five architectures export the same PVFS2 deployment."""
+        dep = make_deployment(arch, n_clients=1)
+        tb = dep.testbed
+        client = dep.make_client(tb.client_nodes[0])
+
+        def scenario():
+            yield from client.mount()
+            f = yield from client.create("/data")
+            yield from client.write(f, 0, Payload.synthetic(512 * 1024))
+            yield from client.fsync(f)
+            yield from client.close(f)
+
+        drive(tb.sim, scenario())
+        stored = sum(
+            fd.size for d in dep.pvfs.daemons for fd in d.bstreams.values()
+        )
+        assert stored == 512 * 1024
+
+
+class TestDeploymentShapes:
+    def test_direct_pnfs_has_ds_per_storage_node(self):
+        dep = make_deployment("direct-pnfs")
+        assert len(dep.servers) == 7  # 6 data servers + MDS
+
+    def test_3tier_builds_its_own_testbed(self):
+        dep = make_deployment("pnfs-3tier")
+        assert len(dep.testbed.storage_nodes) == 3
+        assert len(dep.servers) == 4  # 3 DS + MDS
+
+    def test_nfsv4_single_server_on_extra_node(self):
+        dep = make_deployment("nfsv4")
+        (server,) = dep.servers
+        assert server.node is dep.testbed.extra_node
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            make_deployment("afs")
+
+    def test_2tier_layout_is_blind_to_placement(self):
+        """The 2-tier MDS issues 1 MB-stripe layouts regardless of the
+        2 MB PVFS2 distribution — the §3.4.1 block-size mismatch."""
+        dep = make_deployment("pnfs-2tier", n_clients=1)
+        tb = dep.testbed
+        client = dep.make_client(tb.client_nodes[0])
+
+        def scenario():
+            yield from client.mount()
+            f = yield from client.create("/m")
+            return f
+
+        f = drive(tb.sim, scenario())
+        layout = f.state["layout"]
+        assert layout.aggregation["stripe_unit"] == 1024 * 1024
+        assert dep.pvfs.cfg.stripe_size == 2 * 1024 * 1024

@@ -1,0 +1,202 @@
+"""Aggregation driver mapping tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    DeviceCycleDriver,
+    HierarchicalDriver,
+    IoSegment,
+    ReplicatedDriver,
+    RoundRobinDriver,
+    VarStripDriver,
+    driver_for,
+    register_driver,
+)
+
+
+def covered(segments, offset, nbytes):
+    """Segments must tile [offset, offset+nbytes) in logical order."""
+    pos = offset
+    for seg in segments:
+        assert seg.offset == pos
+        assert seg.length > 0
+        pos += seg.length
+    return pos == offset + nbytes
+
+
+class TestRoundRobin:
+    def test_basic_striping(self):
+        d = RoundRobinDriver(nslots=3, stripe_unit=10)
+        segs = d.map(0, 35)
+        assert [(s.device_slot, s.offset, s.length) for s in segs] == [
+            (0, 0, 10),
+            (1, 10, 10),
+            (2, 20, 10),
+            (0, 30, 5),
+        ]
+
+    def test_mid_stripe_start(self):
+        d = RoundRobinDriver(nslots=2, stripe_unit=10)
+        segs = d.map(15, 10)
+        assert [(s.device_slot, s.offset, s.length) for s in segs] == [
+            (1, 15, 5),
+            (0, 20, 5),
+        ]
+
+    def test_adjacent_same_slot_merges(self):
+        d = RoundRobinDriver(nslots=1, stripe_unit=10)
+        segs = d.map(0, 100)
+        assert len(segs) == 1
+        assert segs[0].length == 100
+
+    def test_empty_map(self):
+        assert RoundRobinDriver(2, 10).map(5, 0) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RoundRobinDriver(0, 10)
+        with pytest.raises(ValueError):
+            RoundRobinDriver(2, 10).map(-1, 5)
+
+    @given(
+        nslots=st.integers(1, 6),
+        unit=st.integers(1, 64),
+        offset=st.integers(0, 5000),
+        nbytes=st.integers(0, 2000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_tiles_range(self, nslots, unit, offset, nbytes):
+        segs = RoundRobinDriver(nslots, unit).map(offset, nbytes)
+        assert covered(segs, offset, nbytes)
+        for seg in segs:
+            assert seg.device_slot == (seg.offset // unit) % nslots
+
+
+class TestDeviceCycle:
+    def test_weighted_cycle(self):
+        d = DeviceCycleDriver(cycle=[0, 1, 0, 2], stripe_unit=5)
+        segs = d.map(0, 20)
+        assert [s.device_slot for s in segs] == [0, 1, 0, 2]
+
+    def test_cycle_merges_repeats(self):
+        d = DeviceCycleDriver(cycle=[0, 0, 1], stripe_unit=5)
+        segs = d.map(0, 15)
+        assert [(s.device_slot, s.length) for s in segs] == [(0, 10), (1, 5)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DeviceCycleDriver([], 5)
+        with pytest.raises(ValueError):
+            DeviceCycleDriver([-1], 5)
+
+
+class TestVarStrip:
+    def test_pattern(self):
+        d = VarStripDriver(pattern=[(0, 7), (1, 3)])
+        segs = d.map(0, 20)
+        assert [(s.device_slot, s.offset, s.length) for s in segs] == [
+            (0, 0, 7),
+            (1, 7, 3),
+            (0, 10, 7),
+            (1, 17, 3),
+        ]
+
+    @given(
+        pattern=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 16)), min_size=1, max_size=4
+        ),
+        offset=st.integers(0, 1000),
+        nbytes=st.integers(0, 500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_tiles_range(self, pattern, offset, nbytes):
+        segs = VarStripDriver(pattern).map(offset, nbytes)
+        assert covered(segs, offset, nbytes)
+
+
+class TestReplicated:
+    def test_write_fans_out_to_all_replicas(self):
+        inner = RoundRobinDriver(nslots=2, stripe_unit=10)
+        d = ReplicatedDriver(inner, replicas=[0, 2])
+        segs = d.map(0, 20, for_write=True)
+        # Each inner segment appears on slot and slot+2.
+        slots = sorted((s.device_slot, s.offset) for s in segs)
+        assert slots == [(0, 0), (1, 10), (2, 0), (3, 10)]
+
+    def test_read_uses_one_replica_per_segment(self):
+        inner = RoundRobinDriver(nslots=2, stripe_unit=10)
+        d = ReplicatedDriver(inner, replicas=[0, 2])
+        segs = d.map(0, 40, for_write=False)
+        assert covered(segs, 0, 40)
+        # Alternating replica offsets spread the read load.
+        offsets_used = {s.device_slot - inner.map(s.offset, 1)[0].device_slot for s in segs}
+        assert offsets_used == {0, 2}
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ReplicatedDriver(RoundRobinDriver(1, 1), [])
+
+
+class TestHierarchical:
+    def test_two_level_layout(self):
+        # 2 groups of 2 slots; outer unit 20, inner unit 10.
+        d = HierarchicalDriver(ngroups=2, group_size=2, outer_unit=20, inner_unit=10)
+        segs = d.map(0, 80)
+        assert covered(segs, 0, 80)
+        assert [s.device_slot for s in segs] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_inner_wraps_within_group(self):
+        d = HierarchicalDriver(ngroups=1, group_size=2, outer_unit=40, inner_unit=10)
+        segs = d.map(0, 40)
+        assert [s.device_slot for s in segs] == [0, 1, 0, 1]
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            HierarchicalDriver(2, 2, 10, 20)  # outer < inner
+        with pytest.raises(ValueError):
+            HierarchicalDriver(2, 2, 25, 10)  # not a multiple
+
+
+class TestRegistry:
+    def test_round_trip_via_describe(self):
+        for drv in [
+            RoundRobinDriver(4, 1024),
+            DeviceCycleDriver([0, 1, 1], 64),
+            VarStripDriver([(0, 5), (2, 9)]),
+            ReplicatedDriver(RoundRobinDriver(2, 8), [0, 2]),
+            HierarchicalDriver(2, 3, 60, 20),
+        ]:
+            clone = driver_for(drv.describe())
+            assert type(clone) is type(drv)
+            assert clone.map(13, 200) == drv.map(13, 200)
+            assert clone.map(13, 200, for_write=True) == drv.map(13, 200, for_write=True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            driver_for({"type": "exotic"})
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_driver("round_robin", lambda d: None)
+
+    def test_custom_driver_plugs_in(self):
+        class EverythingOnSlotZero(RoundRobinDriver):
+            name = "slot_zero"
+
+            def __init__(self):
+                super().__init__(1, 1 << 30)
+
+            def describe(self):
+                return {"type": self.name}
+
+        register_driver("slot_zero", lambda d: EverythingOnSlotZero())
+        try:
+            drv = driver_for({"type": "slot_zero"})
+            segs = drv.map(0, 100)
+            assert segs == [IoSegment(0, 0, 100)]
+        finally:
+            from repro.core import aggregation
+
+            del aggregation._REGISTRY["slot_zero"]

@@ -1,0 +1,44 @@
+"""Smoke matrix: every workload runs on every architecture.
+
+Tiny scales — the goal is interface conformance (the same workload code
+must run unmodified over all five systems), not performance.
+"""
+
+import pytest
+
+from repro.bench.runner import run_cell
+from repro.cluster.configs import ARCHITECTURES
+from repro.workloads import (
+    AtlasWorkload,
+    BtioWorkload,
+    IorWorkload,
+    MdtestWorkload,
+    OltpWorkload,
+    PostmarkWorkload,
+    SshBuildWorkload,
+)
+
+WORKLOADS = {
+    "ior-write": lambda: IorWorkload(op="write", block_size=256 * 1024, scale=0.01),
+    "ior-read": lambda: IorWorkload(op="read", block_size=256 * 1024, scale=0.01),
+    "atlas": lambda: AtlasWorkload(total_bytes=6 << 20, n_requests=60, scale=1.0),
+    "btio": lambda: BtioWorkload(
+        total_bytes=4 << 20, checkpoints=4, compute_seconds_per_checkpoint=0, scale=1.0
+    ),
+    "oltp": lambda: OltpWorkload(transactions=15, region_bytes=1 << 20, scale=1.0),
+    "postmark": lambda: PostmarkWorkload(
+        transactions=12, nfiles=10, fmax=8 * 1024, scale=1.0
+    ),
+    "sshbuild": lambda: SshBuildWorkload(nsources=8, scale=1.0),
+    "mdtest": lambda: MdtestWorkload(nfiles=20, ndirs=2, scale=1.0),
+}
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_matrix_cell(arch, workload_name):
+    result = run_cell(arch, WORKLOADS[workload_name](), n_clients=2)
+    assert result.makespan > 0
+    assert len(result.results) == 2
+    for r in result.results:
+        assert r.transactions >= 0

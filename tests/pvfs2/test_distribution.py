@@ -1,0 +1,187 @@
+"""Distribution mapping tests: striping correctness and inverses."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pvfs2 import (
+    SimpleStripe,
+    VarStrip,
+    distribution_from_description,
+)
+
+
+class TestSimpleStripe:
+    def test_first_stripes_round_robin(self):
+        d = SimpleStripe(nservers=3, stripe_size=10)
+        assert d.locate(0) == (0, 0, 10)
+        assert d.locate(10) == (1, 0, 10)
+        assert d.locate(20) == (2, 0, 10)
+        assert d.locate(30) == (0, 10, 10)
+
+    def test_mid_stripe_offset(self):
+        d = SimpleStripe(nservers=2, stripe_size=100)
+        server, local, rem = d.locate(250)
+        assert (server, local, rem) == (0, 150, 50)
+
+    def test_runs_split_and_merge(self):
+        d = SimpleStripe(nservers=2, stripe_size=10)
+        runs = d.runs(5, 20)
+        # [5,10) s0, [10,20) s1, [20,25) s0-local10
+        assert [(r.server, r.local, r.length, r.logical) for r in runs] == [
+            (0, 5, 5, 5),
+            (1, 0, 10, 10),
+            (0, 10, 5, 20),
+        ]
+
+    def test_runs_merge_contiguous_single_server(self):
+        d = SimpleStripe(nservers=1, stripe_size=10)
+        runs = d.runs(0, 100)
+        assert len(runs) == 1
+        assert runs[0].length == 100
+
+    def test_logical_size_round_trip_exact_stripes(self):
+        d = SimpleStripe(nservers=3, stripe_size=10)
+        # file of 65 bytes: stripes 0..6, last is 5 bytes on server 0
+        local = [0, 0, 0]
+        for run in d.runs(0, 65):
+            local[run.server] = max(local[run.server], run.local + run.length)
+        assert d.logical_size(local) == 65
+
+    def test_logical_size_empty(self):
+        d = SimpleStripe(nservers=4, stripe_size=10)
+        assert d.logical_size([0, 0, 0, 0]) == 0
+
+    def test_logical_size_wrong_arity_rejected(self):
+        d = SimpleStripe(nservers=2, stripe_size=10)
+        with pytest.raises(ValueError):
+            d.logical_size([1])
+
+    def test_describe_round_trip(self):
+        d = SimpleStripe(nservers=5, stripe_size=64 * 1024)
+        d2 = distribution_from_description(d.describe())
+        assert isinstance(d2, SimpleStripe)
+        assert d2.nservers == 5 and d2.stripe_size == 64 * 1024
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimpleStripe(0, 10)
+        with pytest.raises(ValueError):
+            SimpleStripe(2, 0)
+
+    @given(
+        nservers=st.integers(1, 6),
+        stripe=st.integers(1, 64),
+        offset=st.integers(0, 10_000),
+        nbytes=st.integers(0, 4_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_runs_cover_range_exactly(self, nservers, stripe, offset, nbytes):
+        d = SimpleStripe(nservers, stripe)
+        runs = d.runs(offset, nbytes)
+        assert sum(r.length for r in runs) == nbytes
+        pos = offset
+        for r in runs:
+            assert r.logical == pos
+            pos += r.length
+        # Every byte maps where locate says it should.
+        for r in runs:
+            server, local, _rem = d.locate(r.logical)
+            assert (server, local) == (r.server, r.local)
+
+    @given(
+        nservers=st.integers(1, 5),
+        stripe=st.integers(1, 32),
+        size=st.integers(0, 3_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_logical_size_inverse(self, nservers, stripe, size):
+        d = SimpleStripe(nservers, stripe)
+        local = [0] * nservers
+        for run in d.runs(0, size):
+            local[run.server] = max(local[run.server], run.local + run.length)
+        assert d.logical_size(local) == size
+
+
+class TestVarStrip:
+    def test_pattern_layout(self):
+        d = VarStrip(nservers=3, pattern=[(0, 5), (1, 3), (2, 7)])
+        assert d.locate(0) == (0, 0, 5)
+        assert d.locate(5) == (1, 0, 3)
+        assert d.locate(8) == (2, 0, 7)
+        # Second cycle: server 0 again, local continues its own stream.
+        assert d.locate(15) == (0, 5, 5)
+
+    def test_same_server_twice_per_cycle(self):
+        d = VarStrip(nservers=2, pattern=[(0, 4), (1, 4), (0, 2)])
+        # Third strip also on server 0, local base = 4 in cycle 0.
+        assert d.locate(8) == (0, 4, 2)
+        # Cycle 1 first strip: server 0 local = per_cycle(6)*1 = 6.
+        assert d.locate(10) == (0, 6, 4)
+
+    def test_invalid_patterns(self):
+        with pytest.raises(ValueError):
+            VarStrip(2, [])
+        with pytest.raises(ValueError):
+            VarStrip(2, [(5, 4)])
+        with pytest.raises(ValueError):
+            VarStrip(2, [(0, 0)])
+
+    def test_describe_round_trip(self):
+        d = VarStrip(nservers=2, pattern=[(0, 3), (1, 9)])
+        d2 = distribution_from_description(d.describe())
+        assert isinstance(d2, VarStrip)
+        assert d2.pattern == [(0, 3), (1, 9)]
+
+    @given(
+        pattern=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(1, 16)), min_size=1, max_size=5
+        ),
+        offset=st.integers(0, 2_000),
+        nbytes=st.integers(0, 1_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_runs_cover_range(self, pattern, offset, nbytes):
+        d = VarStrip(4, pattern)
+        runs = d.runs(offset, nbytes)
+        assert sum(r.length for r in runs) == nbytes
+        pos = offset
+        for r in runs:
+            assert r.logical == pos
+            pos += r.length
+
+    @given(
+        pattern=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(1, 8)), min_size=1, max_size=4
+        ),
+        size=st.integers(0, 600),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_logical_size_inverse(self, pattern, size):
+        d = VarStrip(3, pattern)
+        local = [0, 0, 0]
+        for run in d.runs(0, size):
+            local[run.server] = max(local[run.server], run.local + run.length)
+        assert d.logical_size(local) == size
+
+    @given(
+        pattern=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(1, 8)), min_size=1, max_size=4
+        ),
+        offsets=st.lists(st.integers(0, 400), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_no_two_bytes_share_a_local_slot(self, pattern, offsets):
+        """Distinct logical bytes never collide on (server, local)."""
+        d = VarStrip(3, pattern)
+        seen = {}
+        for off in range(0, 300):
+            server, local, _ = d.locate(off)
+            key = (server, local)
+            assert key not in seen or seen[key] == off
+            seen[key] = off
+
+
+def test_unknown_description_rejected():
+    with pytest.raises(ValueError):
+        distribution_from_description({"type": "mystery"})

@@ -1,0 +1,277 @@
+"""End-to-end functional tests of the PVFS2 stack on the simulator."""
+
+import pytest
+
+from repro.pvfs2 import Pvfs2Config, Pvfs2System, SimpleStripe
+from repro.vfs import Exists, NoEntry, Payload
+from repro.vfs.api import FsError
+
+from tests.conftest import build_cluster, drive
+
+
+def make_fs(cluster, **cfg_kw):
+    cfg_kw.setdefault("stripe_size", 64)  # small stripes exercise striping
+    cfg = Pvfs2Config(**cfg_kw)
+    return Pvfs2System(cluster.sim, cluster.storage, cfg)
+
+
+@pytest.fixture
+def fs(cluster):
+    return make_fs(cluster)
+
+
+@pytest.fixture
+def client(cluster, fs):
+    c = fs.make_client(cluster.clients[0])
+    drive(cluster.sim, c.mount())
+    return c
+
+
+class TestBasicIo:
+    def test_create_write_read_roundtrip(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/file")
+            yield from client.write(f, 0, Payload(b"hello pvfs2"))
+            data = yield from client.read(f, 0, 100)
+            return data
+
+        out = drive(cluster.sim, scenario())
+        assert out.data == b"hello pvfs2"
+
+    def test_data_is_striped_across_daemons(self, cluster, fs, client):
+        def scenario():
+            f = yield from client.create("/striped")
+            # 200 bytes over 64-byte stripes on 3 servers
+            yield from client.write(f, 0, Payload(bytes(range(200))))
+
+        drive(cluster.sim, scenario())
+        sizes = [sum(fd.size for fd in d.bstreams.values()) for d in fs.daemons]
+        assert sizes == [64 + 8, 64, 64]  # stripes 0 and 3 land on server 0
+
+    def test_stripe_content_matches_distribution(self, cluster, fs, client):
+        data = bytes(range(200))
+
+        def scenario():
+            f = yield from client.create("/striped2")
+            yield from client.write(f, 0, Payload(data))
+            return f
+
+        f = drive(cluster.sim, scenario())
+        dist = SimpleStripe(3, 64)
+        for run in dist.runs(0, 200):
+            daemon = fs.daemons[run.server]
+            dfile = f.state["dfiles"][run.server]
+            stored = daemon.bstreams[dfile].read(run.local, run.length)
+            assert stored.data == data[run.logical : run.logical + run.length]
+
+    def test_read_at_offset_and_past_eof(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/f")
+            yield from client.write(f, 0, Payload(b"0123456789"))
+            mid = yield from client.read(f, 4, 3)
+            tail = yield from client.read(f, 8, 100)
+            beyond = yield from client.read(f, 50, 10)
+            return mid, tail, beyond
+
+        mid, tail, beyond = drive(cluster.sim, scenario())
+        assert mid.data == b"456"
+        assert tail.data == b"89"
+        assert beyond.nbytes == 0
+
+    def test_sparse_write_reads_back_zero_filled(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/sparse")
+            yield from client.write(f, 150, Payload(b"XY"))
+            return (yield from client.read(f, 0, 152))
+
+        out = drive(cluster.sim, scenario())
+        assert out.nbytes == 152
+        assert out.data == b"\x00" * 150 + b"XY"
+
+    def test_cross_client_visibility(self, cluster, fs):
+        c0 = fs.make_client(cluster.clients[0])
+        c1 = fs.make_client(cluster.clients[1])
+
+        def scenario():
+            yield from c0.mount()
+            yield from c1.mount()
+            f0 = yield from c0.create("/shared")
+            yield from c0.write(f0, 0, Payload(b"written by c0"))
+            f1 = yield from c1.open("/shared")
+            return (yield from c1.read(f1, 0, 64))
+
+        out = drive(cluster.sim, scenario())
+        assert out.data == b"written by c0"
+
+    def test_synthetic_payload_tracks_size_only(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/big")
+            yield from client.write(f, 0, Payload.synthetic(1_000_000))
+            attrs = yield from client.getattr("/big")
+            data = yield from client.read(f, 500_000, 1000)
+            return attrs, data
+
+        attrs, data = drive(cluster.sim, scenario())
+        assert attrs.size == 1_000_000
+        assert data.is_synthetic and data.nbytes == 1000
+
+    def test_write_returns_bytes_accepted(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/n")
+            return (yield from client.write(f, 0, Payload(b"abc")))
+
+        assert drive(cluster.sim, scenario()) == 3
+
+
+class TestMetadata:
+    def test_getattr_size_across_stripes(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/f")
+            yield from client.write(f, 0, Payload(bytes(137)))
+            attrs = yield from client.getattr("/f")
+            return attrs
+
+        attrs = drive(cluster.sim, scenario())
+        assert attrs.size == 137
+        assert not attrs.is_dir
+
+    def test_mkdir_readdir(self, cluster, client):
+        def scenario():
+            yield from client.mkdir("/d")
+            yield from client.create("/d/b")
+            yield from client.create("/d/a")
+            return (yield from client.readdir("/d"))
+
+        assert drive(cluster.sim, scenario()) == ["a", "b"]
+
+    def test_create_existing_fails(self, cluster, client):
+        def scenario():
+            yield from client.create("/dup")
+            try:
+                yield from client.create("/dup")
+            except Exists:
+                return "exists"
+
+        assert drive(cluster.sim, scenario()) == "exists"
+
+    def test_open_missing_fails(self, cluster, client):
+        def scenario():
+            try:
+                yield from client.open("/ghost")
+            except NoEntry:
+                return "noent"
+
+        assert drive(cluster.sim, scenario()) == "noent"
+
+    def test_remove_frees_bstreams(self, cluster, fs, client):
+        def scenario():
+            f = yield from client.create("/gone")
+            yield from client.write(f, 0, Payload(b"x" * 300))
+            yield from client.remove("/gone")
+
+        drive(cluster.sim, scenario())
+        assert all(not d.bstreams or all(fd.size == 0 for fd in d.bstreams.values())
+                   for d in fs.daemons) or all(len(d.bstreams) == 0 for d in fs.daemons)
+
+    def test_rename(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/old")
+            yield from client.write(f, 0, Payload(b"content"))
+            yield from client.rename("/old", "/new")
+            g = yield from client.open("/new")
+            return (yield from client.read(g, 0, 10))
+
+        assert drive(cluster.sim, scenario()).data == b"content"
+
+    def test_truncate(self, cluster, client):
+        def scenario():
+            f = yield from client.create("/t")
+            yield from client.write(f, 0, Payload(bytes(range(200))))
+            yield from client.truncate("/t", 70)
+            attrs = yield from client.getattr("/t")
+            data = yield from client.read(f, 0, 200)
+            return attrs, data
+
+        attrs, data = drive(cluster.sim, scenario())
+        assert attrs.size == 70
+        assert data.data == bytes(range(70))
+
+    def test_create_allocates_dfile_on_every_daemon(self, cluster, fs, client):
+        def scenario():
+            return (yield from client.create("/alloc"))
+
+        f = drive(cluster.sim, scenario())
+        assert len(f.state["dfiles"]) == len(fs.daemons)
+        for daemon, dfile in zip(fs.daemons, f.state["dfiles"]):
+            assert dfile in daemon.bstreams
+
+
+class TestDurability:
+    def test_fsync_drains_dirty_data_to_disk(self, cluster, fs, client):
+        def scenario():
+            f = yield from client.create("/durable")
+            yield from client.write(f, 0, Payload.synthetic(4_000_000))
+            yield from client.fsync(f)
+
+        drive(cluster.sim, scenario())
+        assert all(d.dirty_backlog <= fs.cfg.disk_cache_bytes for d in fs.daemons)
+        cluster.sim.run()  # drain the flushers
+        disk_bytes = sum(n.disk.write_bytes for n in cluster.storage)
+        # payload plus a handful of 4 KB metadata journal writes
+        assert 4_000_000 <= disk_bytes <= 4_000_000 + 16 * 4096
+
+    def test_write_without_fsync_may_leave_backlog_until_flusher_runs(
+        self, cluster, fs, client
+    ):
+        def scenario():
+            f = yield from client.create("/lazy")
+            yield from client.write(f, 0, Payload.synthetic(1_000_000))
+
+        drive(cluster.sim, scenario())
+        # run() drained all events, so the flusher finished too;
+        # the invariant is that data eventually reaches disk unprompted.
+        payload_bytes = sum(n.disk.write_bytes for n in cluster.storage)
+        assert 1_000_000 <= payload_bytes <= 1_000_000 + 16 * 4096
+
+    def test_fsync_time_reflects_disk_speed(self, cluster, fs, client):
+        """A large write + fsync must wait for the platter drain (minus
+        the per-daemon write-cache allowance)."""
+        total = 120_000_000
+
+        def scenario():
+            f = yield from client.create("/timed")
+            yield from client.write(f, 0, Payload.synthetic(total))
+            yield from client.fsync(f)
+            return cluster.sim.now
+
+        t = drive(cluster.sim, scenario())
+        must_drain = total - 3 * fs.cfg.disk_cache_bytes
+        assert t >= must_drain / (3 * 24e6)
+
+
+class TestLocalOnlyConduit:
+    def test_conduit_rejects_remote_io(self, cluster, fs):
+        conduit = fs.make_client(cluster.storage[1], local_only=True)
+
+        def scenario():
+            yield from conduit.mount()
+            f = yield from conduit.create("/c")  # create is MDS-side, fine
+            try:
+                # stripe 0 lives on server 0, but conduit is on storage[1]
+                yield from conduit.write(f, 0, Payload(b"x"))
+            except FsError:
+                return "refused"
+
+        assert drive(cluster.sim, scenario()) == "refused"
+
+    def test_conduit_allows_local_io(self, cluster, fs):
+        conduit = fs.make_client(cluster.storage[1], local_only=True)
+
+        def scenario():
+            yield from conduit.mount()
+            f = yield from conduit.create("/c2")
+            # stripe 1 (offset 64..127) lives on server index 1
+            yield from conduit.write(f, 64, Payload(b"local!"))
+            return (yield from conduit.read(f, 64, 6))
+
+        assert drive(cluster.sim, scenario()).data == b"local!"

@@ -1,0 +1,235 @@
+"""Unit and property tests for Resource, Store, and TokenBucket."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store, TokenBucket
+from repro.sim.engine import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self, sim):
+        res = Resource(sim, 2)
+        ev = res.acquire()
+        assert ev.triggered
+        assert res.in_use == 1
+        assert res.available == 1
+
+    def test_fifo_queueing(self, sim):
+        res = Resource(sim, 1)
+        order = []
+
+        def user(tag, hold):
+            yield res.acquire()
+            order.append(("start", tag, sim.now))
+            yield sim.timeout(hold)
+            res.release()
+
+        for i in range(3):
+            sim.process(user(i, 10))
+        sim.run()
+        assert order == [("start", 0, 0), ("start", 1, 10), ("start", 2, 20)]
+
+    def test_multi_unit_acquire_waits_for_all_units(self, sim):
+        res = Resource(sim, 4)
+        events = []
+
+        def small(tag):
+            yield res.acquire(1)
+            yield sim.timeout(5)
+            res.release(1)
+            events.append((tag, sim.now))
+
+        def big():
+            yield res.acquire(4)
+            events.append(("big", sim.now))
+            res.release(4)
+
+        sim.process(small("a"))
+        sim.process(small("b"))
+        sim.process(big())
+        sim.run()
+        # big must wait until both singles released at t=5
+        assert ("big", 5) in events
+
+    def test_big_request_not_starved_by_later_small_ones(self, sim):
+        res = Resource(sim, 2)
+        order = []
+
+        def holder():
+            yield res.acquire(2)
+            yield sim.timeout(10)
+            res.release(2)
+
+        def big():
+            yield sim.timeout(1)
+            yield res.acquire(2)
+            order.append(("big", sim.now))
+            res.release(2)
+
+        def small():
+            yield sim.timeout(2)
+            yield res.acquire(1)
+            order.append(("small", sim.now))
+            res.release(1)
+
+        sim.process(holder())
+        sim.process(big())
+        sim.process(small())
+        sim.run()
+        assert order[0][0] == "big"  # FIFO: big asked first
+
+    def test_over_release_rejected(self, sim):
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_acquire_more_than_capacity_rejected(self, sim):
+        res = Resource(sim, 2)
+        with pytest.raises(ValueError):
+            res.acquire(3)
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, 0)
+
+    @given(
+        capacity=st.integers(1, 5),
+        holds=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_never_exceeds_capacity(self, capacity, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity)
+        peak = []
+
+        def user(hold):
+            yield res.acquire()
+            peak.append(res.in_use)
+            yield sim.timeout(hold)
+            res.release()
+
+        for h in holds:
+            sim.process(user(h))
+        sim.run()
+        assert max(peak) <= capacity
+        assert res.in_use == 0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def getter():
+            got.append((yield store.get()))
+
+        sim.process(getter())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def getter():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def putter():
+            yield sim.timeout(4)
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert got == [("late", 4)]
+
+    def test_fifo_item_order(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def drain():
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        sim.process(drain())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_putter(self, sim):
+        store = Store(sim, capacity=1)
+        timeline = []
+
+        def producer():
+            yield store.put("a")
+            timeline.append(("a", sim.now))
+            yield store.put("b")
+            timeline.append(("b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert timeline == [("a", 0), ("b", 5)]
+
+    def test_len_and_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+
+class TestTokenBucket:
+    def test_paced_at_rate(self, sim):
+        bucket = TokenBucket(sim, rate=100.0, burst=1.0)
+
+        def taker():
+            yield sim.process(bucket.take(500))
+            return sim.now
+
+        p = sim.process(taker())
+        sim.run()
+        # 500 units at 100/s with negligible burst ≈ 5 seconds.
+        assert p.value == pytest.approx(5.0, rel=0.02)
+
+    def test_burst_absorbs_initial_take(self, sim):
+        bucket = TokenBucket(sim, rate=10.0, burst=100.0)
+
+        def taker():
+            yield sim.process(bucket.take(100))
+            return sim.now
+
+        p = sim.process(taker())
+        sim.run()
+        assert p.value == pytest.approx(0.0, abs=1e-9)
+
+    def test_serialised_takers_share_rate(self, sim):
+        bucket = TokenBucket(sim, rate=50.0, burst=1.0)
+        finish = []
+
+        def taker():
+            yield sim.process(bucket.take(100))
+            finish.append(sim.now)
+
+        sim.process(taker())
+        sim.process(taker())
+        sim.run()
+        assert finish[-1] == pytest.approx(4.0, rel=0.05)
+
+    def test_invalid_rate_rejected(self, sim):
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate=0)

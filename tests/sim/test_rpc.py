@@ -1,0 +1,157 @@
+"""Tests for the generic RPC layer."""
+
+import pytest
+
+from repro import rpc
+from repro.vfs.api import FsError, NoEntry, Payload
+
+from tests.conftest import build_cluster, drive
+
+
+def make_server(cluster, threads=2, **cost_kw):
+    costs = rpc.RpcCosts(**cost_kw)
+    server = rpc.RpcServer(
+        cluster.sim, cluster.storage[0], "svc", costs, threads=threads
+    )
+    return server
+
+
+class TestBasics:
+    def test_request_response_roundtrip(self, cluster):
+        server = make_server(cluster)
+
+        def echo(args, payload):
+            return {"got": args["x"]}, payload
+            yield  # pragma: no cover
+
+        server.register("echo", echo)
+
+        def scenario():
+            result, reply = yield from rpc.call(
+                cluster.clients[0], server, "echo", {"x": 5}, payload=Payload(b"abc")
+            )
+            return result, reply
+
+        result, reply = drive(cluster.sim, scenario())
+        assert result == {"got": 5}
+        assert reply.data == b"abc"
+        assert server.calls_served == 1
+
+    def test_unknown_procedure_fails_fast(self, cluster):
+        server = make_server(cluster)
+        with pytest.raises(KeyError):
+            # generator creation runs the handler lookup eagerly
+            drive(cluster.sim, rpc.call(cluster.clients[0], server, "nope", {}))
+
+    def test_duplicate_registration_rejected(self, cluster):
+        server = make_server(cluster)
+        server.register("p", lambda a, b: iter(()))
+        with pytest.raises(ValueError):
+            server.register("p", lambda a, b: iter(()))
+
+    def test_fs_error_propagates_to_caller(self, cluster):
+        server = make_server(cluster)
+
+        def failing(args, payload):
+            raise NoEntry("/missing")
+            yield  # pragma: no cover
+
+        server.register("fail", failing)
+
+        def scenario():
+            try:
+                yield from rpc.call(cluster.clients[0], server, "fail", {})
+            except NoEntry:
+                return "caught"
+
+        assert drive(cluster.sim, scenario()) == "caught"
+
+    def test_error_reply_still_counts_and_frees_thread(self, cluster):
+        server = make_server(cluster, threads=1)
+
+        def failing(args, payload):
+            raise FsError("nope")
+            yield  # pragma: no cover
+
+        def ok(args, payload):
+            return "fine", None
+            yield  # pragma: no cover
+
+        server.register("fail", failing)
+        server.register("ok", ok)
+
+        def scenario():
+            try:
+                yield from rpc.call(cluster.clients[0], server, "fail", {})
+            except FsError:
+                pass
+            result, _ = yield from rpc.call(cluster.clients[0], server, "ok", {})
+            return result
+
+        assert drive(cluster.sim, scenario()) == "fine"
+        assert server.threads.in_use == 0
+
+
+class TestTiming:
+    def test_large_reply_paced_by_wire(self, cluster):
+        """A 10 MB read reply takes at least the wire time."""
+        server = make_server(cluster)
+
+        def big(args, payload):
+            return None, Payload.synthetic(10_000_000)
+            yield  # pragma: no cover
+
+        server.register("big", big)
+
+        def scenario():
+            t0 = cluster.sim.now
+            yield from rpc.call(cluster.clients[0], server, "big", {})
+            return cluster.sim.now - t0
+
+        elapsed = drive(cluster.sim, scenario())
+        assert elapsed >= 10_000_000 / 117e6
+
+    def test_copy_costs_overlap_the_wire(self, cluster):
+        """Per-byte CPU below wire pace must not add to transfer time."""
+        cheap = make_server(cluster, server_per_byte=1e-9, client_per_byte=1e-9)
+
+        def big(args, payload):
+            return None, Payload.synthetic(10_000_000)
+            yield  # pragma: no cover
+
+        cheap.register("big", big)
+
+        def scenario():
+            t0 = cluster.sim.now
+            yield from rpc.call(cluster.clients[0], cheap, "big", {})
+            return cluster.sim.now - t0
+
+        elapsed = drive(cluster.sim, scenario())
+        wire = 10_000_000 / 117e6
+        assert elapsed < wire * 1.4  # overlapped, not wire + copies
+
+    def test_thread_pool_serialises_excess_calls(self, cluster):
+        server = make_server(cluster, threads=1)
+
+        def slow(args, payload):
+            yield cluster.sim.timeout(1.0)
+            return None, None
+
+        server.register("slow", slow)
+        ends = []
+
+        def one():
+            yield from rpc.call(cluster.clients[0], server, "slow", {})
+            ends.append(cluster.sim.now)
+
+        cluster.sim.process(one())
+        cluster.sim.process(one())
+        cluster.sim.run()
+        assert ends[1] - ends[0] >= 1.0
+
+    def test_asymmetric_per_byte_costs(self):
+        costs = rpc.RpcCosts(
+            server_per_byte=5e-9, server_per_byte_in=50e-9, server_per_byte_out=None
+        )
+        assert costs.per_byte_in == 50e-9
+        assert costs.per_byte_out == 5e-9

@@ -1,0 +1,118 @@
+"""RPC tracer tests."""
+
+import pytest
+
+from repro import rpc
+from repro.tracing import RpcRecord, RpcTracer, current_tracer
+from repro.vfs.api import NoEntry, Payload
+
+from tests.conftest import build_cluster, drive
+
+
+def make_server(cluster):
+    server = rpc.RpcServer(
+        cluster.sim, cluster.storage[0], "svc", rpc.RpcCosts(), threads=4
+    )
+
+    def echo(args, payload):
+        return args, payload
+        yield  # pragma: no cover
+
+    def fail(args, payload):
+        raise NoEntry("x")
+        yield  # pragma: no cover
+
+    server.register("echo", echo)
+    server.register("fail", fail)
+    return server
+
+
+class TestTracer:
+    def test_records_calls(self, cluster):
+        server = make_server(cluster)
+
+        def scenario():
+            yield from rpc.call(
+                cluster.clients[0], server, "echo", {"a": 1}, payload=Payload(b"xy")
+            )
+            yield from rpc.call(cluster.clients[0], server, "echo", {"a": 2})
+
+        with RpcTracer() as tracer:
+            drive(cluster.sim, scenario())
+        assert len(tracer.records) == 2
+        first = tracer.records[0]
+        assert first.proc == "echo"
+        assert first.client == "c0"
+        assert first.server == "svc"
+        assert first.req_bytes == 2
+        assert first.reply_bytes == 2
+        assert first.latency > 0
+        assert not first.error
+
+    def test_errors_flagged_and_raised(self, cluster):
+        server = make_server(cluster)
+
+        def scenario():
+            try:
+                yield from rpc.call(cluster.clients[0], server, "fail", {})
+            except NoEntry:
+                return "raised"
+
+        with RpcTracer() as tracer:
+            assert drive(cluster.sim, scenario()) == "raised"
+        assert tracer.records[0].error
+
+    def test_not_installed_means_no_overhead(self, cluster):
+        server = make_server(cluster)
+
+        def scenario():
+            yield from rpc.call(cluster.clients[0], server, "echo", {})
+
+        drive(cluster.sim, scenario())
+        assert current_tracer() is None
+
+    def test_nested_installation_rejected(self):
+        with RpcTracer():
+            with pytest.raises(RuntimeError):
+                RpcTracer().__enter__()
+
+    def test_aggregations_and_summary(self, cluster):
+        server = make_server(cluster)
+
+        def scenario():
+            for i in range(5):
+                yield from rpc.call(
+                    cluster.clients[0], server, "echo", {}, payload=Payload(b"z" * 100)
+                )
+
+        with RpcTracer() as tracer:
+            drive(cluster.sim, scenario())
+        assert set(tracer.by_proc()) == {"echo"}
+        assert set(tracer.by_server()) == {"svc"}
+        assert tracer.total_payload_bytes() == 5 * 200
+        text = tracer.summary()
+        assert "echo" in text and "5" in text
+
+    def test_traces_full_stack_run(self, cluster):
+        """Tracer sees the composed Direct-pNFS protocol mix."""
+        from repro.core import DirectPnfsSystem
+        from repro.nfs import NfsConfig
+        from repro.pvfs2 import Pvfs2Config, Pvfs2System
+        from repro.vfs import Payload as P
+
+        pvfs = Pvfs2System(cluster.sim, cluster.storage, Pvfs2Config(stripe_size=64 * 1024))
+        system = DirectPnfsSystem(cluster.sim, pvfs, NfsConfig(rsize=64 * 1024, wsize=64 * 1024))
+        client = system.make_client(cluster.clients[0])
+
+        def scenario():
+            yield from client.mount()
+            f = yield from client.create("/t")
+            yield from client.write(f, 0, P.synthetic(256 * 1024))
+            yield from client.close(f)
+
+        with RpcTracer() as tracer:
+            drive(cluster.sim, scenario())
+        procs = set(tracer.by_proc())
+        # control, layout, data, and storage protocols all visible
+        assert {"mount", "getdevlist", "layoutget", "open", "write", "commit"} <= procs
+        assert any(p in procs for p in ("flush", "create_bstream"))

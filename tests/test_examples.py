@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *argv: str, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "layout from the layout translator" in out
+        assert "read back" in out
+
+    def test_custom_aggregation(self, capsys):
+        run_example("custom_aggregation.py")
+        out = capsys.readouterr().out
+        assert "varstrip" in out
+        assert "even_odd" in out
+
+    def test_atlas_campaign_small(self, capsys):
+        run_example("atlas_campaign.py", "0.02")
+        out = capsys.readouterr().out
+        assert "direct-pnfs" in out and "speedup" in out
+
+    def test_architecture_shootout_small(self, capsys):
+        run_example("architecture_shootout.py", "0.02")
+        out = capsys.readouterr().out
+        assert "fig6a" in out and "fig7a" in out
+
+    def test_wan_grid_access_small(self, capsys):
+        run_example("wan_grid_access.py", "0.02")
+        out = capsys.readouterr().out
+        assert "cross-country" in out
+
+    def test_bottleneck_analysis_small(self, capsys):
+        run_example("bottleneck_analysis.py", "direct-pnfs", "write", "0.05")
+        out = capsys.readouterr().out
+        assert "Dominant server resource" in out
+        assert "RPC mix" in out

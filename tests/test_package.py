@@ -1,0 +1,40 @@
+"""Package-level API surface tests."""
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_architectures_registered(self):
+        assert sorted(repro.ARCHITECTURES) == [
+            "direct-pnfs",
+            "direct-pnfs-sharded",  # extension (§6.4.3 future work)
+            "nfsv4",
+            "pnfs-2tier",
+            "pnfs-3tier",
+            "pvfs2",
+        ]
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The module docstring's quick start must actually run."""
+        tb = repro.Testbed(n_clients=1)
+        deployment = repro.build_direct_pnfs(tb)
+        client = deployment.make_client(tb.client_nodes[0])
+
+        def app():
+            yield from client.mount()
+            f = yield from client.create("/hello")
+            yield from client.write(f, 0, repro.Payload(b"world"))
+            yield from client.close(f)
+
+        tb.sim.run(until=tb.sim.process(app()))
+        stored = sum(
+            fd.size for d in deployment.pvfs.daemons for fd in d.bstreams.values()
+        )
+        assert stored == 5

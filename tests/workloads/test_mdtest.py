@@ -1,0 +1,32 @@
+"""mdtest workload tests."""
+
+import pytest
+
+from repro.bench.runner import run_cell
+from repro.workloads import MdtestWorkload
+
+
+class TestMdtest:
+    def test_phases_and_rates_reported(self):
+        r = run_cell("direct-pnfs", MdtestWorkload(nfiles=60, scale=1.0), 2)
+        for res in r.results:
+            assert set(res.extra["phases"]) == {"create", "stat", "readdir", "remove"}
+            assert res.extra["rates"]["create"] > 0
+            assert res.transactions == 60
+
+    def test_tree_cleaned_up(self):
+        r = run_cell(
+            "pvfs2", MdtestWorkload(nfiles=40, scale=1.0), 1, keep_deployment=True
+        )
+        mds = r.deployment.pvfs.mds
+        # all files and dirs removed: only the /mdtest root and c0 left? no —
+        # c0 and its subdirs were removed too; /mdtest remains.
+        assert mds.namespace.listdir("/mdtest") == []
+
+    def test_native_metadata_beats_recentralised_nfs(self):
+        """§6.4.3: NFS recentralises the parallel FS metadata protocol —
+        native PVFS2 clients do metadata ops with one fewer hop."""
+        direct = run_cell("direct-pnfs", MdtestWorkload(nfiles=80, scale=1.0), 4)
+        native = run_cell("pvfs2", MdtestWorkload(nfiles=80, scale=1.0), 4)
+        # native is at least as fast on the pure-metadata sweep
+        assert native.makespan <= direct.makespan * 1.05

@@ -1,0 +1,168 @@
+"""Trace capture, persistence, and replay tests."""
+
+import io
+
+import pytest
+
+from repro.sim import Simulator
+from repro.vfs import Payload
+from repro.vfs.localfs import LocalClient, LocalFileSystem
+from repro.workloads.traces import (
+    TraceOp,
+    TraceRecorder,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+from tests.conftest import drive
+
+
+@pytest.fixture
+def local():
+    sim = Simulator()
+    fs = LocalFileSystem()
+    return sim, fs, LocalClient(sim, fs)
+
+
+class TestTraceOp:
+    def test_valid(self):
+        op = TraceOp("write", "/f", 10, 100)
+        assert op.nbytes == 100
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceOp("truncate-ish", "/f")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TraceOp("read", "/f", -1, 10)
+
+
+class TestRecorder:
+    def test_records_and_passes_through(self, local):
+        sim, fs, client = local
+        rec = TraceRecorder(client)
+
+        def scenario():
+            yield from rec.mount()
+            yield from rec.mkdir("/d")
+            f = yield from rec.create("/d/f")
+            yield from rec.write(f, 0, Payload(b"hello"))
+            yield from rec.read(f, 0, 5)
+            yield from rec.fsync(f)
+            yield from rec.close(f)
+            yield from rec.rename("/d/f", "/d/g")
+            yield from rec.remove("/d/g")
+
+        drive(sim, scenario())
+        ops = [op.op for op in rec.ops]
+        assert ops == [
+            "mkdir", "create", "write", "read", "fsync", "close", "rename", "remove",
+        ]
+        assert rec.ops[2].nbytes == 5
+        assert rec.ops[6].dest == "/d/g"
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self):
+        trace = [
+            TraceOp("mkdir", "/d"),
+            TraceOp("create", "/d/f"),
+            TraceOp("write", "/d/f", 0, 4096),
+            TraceOp("rename", "/d/f", dest="/d/g"),
+        ]
+        buf = io.StringIO()
+        assert save_trace(buf, trace) == 4
+        buf.seek(0)
+        assert load_trace(buf) == trace
+
+    def test_load_skips_blank_lines(self):
+        buf = io.StringIO('{"op":"mkdir","path":"/x","offset":0,"nbytes":0,"dest":""}\n\n')
+        assert load_trace(buf) == [TraceOp("mkdir", "/x")]
+
+
+class TestReplay:
+    def test_recorded_trace_replays_identically(self, local):
+        sim, _fs, client = local
+        rec = TraceRecorder(client)
+
+        def record():
+            yield from rec.mount()
+            yield from rec.mkdir("/t")
+            f = yield from rec.create("/t/a")
+            yield from rec.write(f, 0, Payload.synthetic(1000))
+            yield from rec.write(f, 1000, Payload.synthetic(500))
+            yield from rec.close(f)
+
+        drive(sim, record())
+
+        # Replay on a fresh file system.
+        sim2 = Simulator()
+        fs2 = LocalFileSystem()
+        target = LocalClient(sim2, fs2)
+
+        def go():
+            yield from target.mount()
+            return (yield from replay(target, rec.ops))
+
+        executed, moved = drive(sim2, go())
+        assert executed == len(rec.ops)
+        assert moved == 1500
+        entry = fs2.namespace.resolve("/t/a")
+        assert fs2.contents[entry.handle].size == 1500
+
+    def test_implicit_open_on_bare_io(self, local):
+        sim, fs, client = local
+        trace = [
+            TraceOp("create", "/x"),
+            TraceOp("close", "/x"),
+            TraceOp("write", "/x", 0, 64),  # no open: implicit
+            TraceOp("read", "/x", 0, 64),
+        ]
+
+        def go():
+            yield from client.mount()
+            return (yield from replay(client, trace))
+
+        executed, moved = drive(sim, go())
+        assert executed == 4
+        assert moved == 128
+
+    def test_stragglers_closed(self, local):
+        sim, _fs, client = local
+        trace = [TraceOp("create", "/open-left"), TraceOp("write", "/open-left", 0, 10)]
+
+        def go():
+            yield from client.mount()
+            yield from replay(client, trace)
+
+        drive(sim, go())  # must not leak an open handle / unflushed state
+
+    def test_replay_over_direct_pnfs(self):
+        """A captured trace replays over a full Direct-pNFS stack."""
+        from repro.core import DirectPnfsSystem
+        from repro.nfs import NfsConfig
+        from repro.pvfs2 import Pvfs2Config, Pvfs2System
+        from tests.conftest import build_cluster
+
+        cluster = build_cluster()
+        pvfs = Pvfs2System(cluster.sim, cluster.storage, Pvfs2Config(stripe_size=32 * 1024))
+        system = DirectPnfsSystem(cluster.sim, pvfs, NfsConfig(rsize=64 * 1024, wsize=64 * 1024))
+        client = system.make_client(cluster.clients[0])
+        trace = [
+            TraceOp("mkdir", "/r"),
+            TraceOp("create", "/r/data"),
+            TraceOp("write", "/r/data", 0, 100_000),
+            TraceOp("fsync", "/r/data"),
+            TraceOp("read", "/r/data", 50_000, 10_000),
+            TraceOp("close", "/r/data"),
+        ]
+
+        def go():
+            yield from client.mount()
+            return (yield from replay(client, trace))
+
+        executed, moved = drive(cluster.sim, go())
+        assert executed == 6
+        assert moved == 110_000
