@@ -72,3 +72,26 @@ class DirectPnfsSystem:
         client = PnfsClient(self.sim, node, self.mds, self.cfg)
         client.label = self.label
         return client
+
+    # -- fault-injection targets -------------------------------------------
+    def data_server_for(self, node: Node | str):
+        """The data-server service hosted on ``node`` (injector target).
+
+        Failing ``data_server_for(n).rpc`` kills the NFS endpoint while
+        the node's parallel-FS daemon keeps running — the scenario where
+        clients fall back to proxied I/O through the MDS (§5) and all
+        data stays reachable.
+        """
+        name = node.name if isinstance(node, Node) else node
+        for ds in self.data_servers:
+            if ds.node.name == name:
+                return ds
+        raise KeyError(f"no data server on node {name!r}")
+
+    def kill_data_server(self, node: Node | str) -> None:
+        """Fail-stop the data-server service on ``node``."""
+        self.data_server_for(node).rpc.fail()
+
+    def restart_data_server(self, node: Node | str) -> None:
+        """Bring the data-server service on ``node`` back up."""
+        self.data_server_for(node).rpc.restore()

@@ -89,10 +89,22 @@ class Nfs4Client(FileSystemClient):
     def _call(self, proc: str, args: dict, payload=None, server: Optional[Nfs4Server] = None):
         server = server or self.server
         session = self._session_for(server)
+        policy = self.cfg.rpc_policy
+        # With the fault layer on, each logical call gets a session
+        # sequence id so retransmissions of non-idempotent ops replay
+        # the cached reply instead of re-executing (exactly-once).
+        seq = session.next_seq() if policy is not None else None
         yield session.slot()
         try:
             result = yield from rpc.call(
-                self.node, server.rpc, proc, args, payload=payload
+                self.node,
+                server.rpc,
+                proc,
+                args,
+                payload=payload,
+                policy=policy,
+                session=session if policy is not None else None,
+                seq=seq,
             )
         finally:
             session.done()

@@ -1,14 +1,26 @@
-"""NFSv4.1 sessions and slot tables.
+"""NFSv4.1 sessions, slot tables, and the reply cache.
 
 A session's slot table bounds the number of outstanding requests a
 client may have at a server — the NFSv4.1 flow-control mechanism that
 replaces NFSv4's unbounded async RPC.  Every client RPC (including
 write-back and readahead traffic) holds a slot for its duration.
+
+The slot table's second job (RFC 5661 §2.10.6) is **exactly-once
+semantics**: each request carries a per-session sequence id, and the
+server caches the reply it sent for each sequence id until the client
+retires it.  A retransmitted request whose original execution already
+completed is answered from the cache instead of re-running the
+operation — the mechanism that makes retrying non-idempotent ops
+(WRITE, LAYOUTCOMMIT) safe.  This object models both halves: the
+client-side slot table and the server-side reply cache for this
+client↔server pairing (:func:`repro.rpc.call` consults it via the
+``session``/``seq`` arguments).
 """
 
 from __future__ import annotations
 
 import itertools
+from typing import Any, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
@@ -25,13 +37,55 @@ class Session:
         self.sessionid = next(_session_ids)
         self.slots = Resource(sim, slots, name=name or f"session{self.sessionid}")
         self.highest_used = 0
+        self._seq = itertools.count(1)
+        #: Server-side reply cache: seq -> (result, reply_payload, error).
+        self._replay: dict[int, tuple] = {}
+        #: Reply-cache hits observed on this session.
+        self.replays = 0
 
+    # -- slot table --------------------------------------------------------
     def slot(self):
         """Acquire event for one slot; caller must release via ``done``."""
         ev = self.slots.acquire()
-        self.highest_used = max(self.highest_used, self.slots.in_use)
+        # Sample occupancy when the slot is *granted*, not when the
+        # acquire is merely requested: a queued request has not raised
+        # occupancy yet, and a grant abandoned by an interrupted waiter
+        # is returned (urgent interrupts process before the grant's own
+        # callbacks) before this callback samples — so highest_used
+        # reports slots that were actually held.
+        ev.add_callback(self._note_grant)
         return ev
+
+    def _note_grant(self, _ev) -> None:
+        self.highest_used = max(self.highest_used, self.slots.in_use)
 
     def done(self) -> None:
         """Return a slot."""
         self.slots.release()
+
+    # -- reply cache -------------------------------------------------------
+    def next_seq(self) -> int:
+        """Allocate a sequence id for one logical request (all of its
+        retransmissions carry the same id)."""
+        return next(self._seq)
+
+    def cache_reply(
+        self, seq: int, result: Any, payload: Any, error: Optional[Exception]
+    ) -> None:
+        """Record the reply sent for ``seq`` (error replies included —
+        RFC 5661 caches those too)."""
+        self._replay[seq] = (result, payload, error)
+
+    def cached_reply(self, seq: int) -> Optional[tuple]:
+        """The cached reply for ``seq``, or ``None`` if this is the
+        first execution the server sees.  A hit means the request is a
+        retransmission of an already-executed operation."""
+        hit = self._replay.get(seq)
+        if hit is not None:
+            self.replays += 1
+        return hit
+
+    def retire(self, seq: int) -> None:
+        """The client received the reply for ``seq``: the server may
+        drop its cache entry (slot-reuse advances the cache window)."""
+        self._replay.pop(seq, None)

@@ -27,7 +27,7 @@ from repro.nfs.client import Nfs4Client
 from repro.nfs.config import NfsConfig
 from repro.nfs.server import Nfs4Server
 from repro.pnfs.server import PnfsMetadataServer
-from repro.rpc import RpcServer
+from repro.rpc import RpcServer, RpcTimeout
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
 from repro.vfs.api import OpenFile, Payload
@@ -51,6 +51,20 @@ class PnfsClient(Nfs4Client):
         #: Layouts are valid for the lifetime of the inode (§5): keep
         #: them across open/close and skip LAYOUTGET on reopen.
         self._layout_cache: dict[object, object] = {}
+        #: Failover state (paper §5 "versatility"): data servers whose
+        #: direct path timed out, mapped to the sim time at which the
+        #: client will probe them again.  While a server is listed, its
+        #: stripes are proxied through the MDS as plain NFSv4 I/O.
+        #: Only meaningful when ``cfg.rpc_timeout`` enables the fault
+        #: layer — without timeouts a dead server hangs the call.
+        self._ds_blacklist: dict[Nfs4Server, float] = {}
+        #: Times a healthy data server was newly failed over from.
+        self.failovers = 0
+        #: Times a blacklisted data server was probed and found healthy.
+        self.recoveries = 0
+        #: Payload bytes that took the MDS-proxy path instead of the
+        #: direct path (failover traffic, visible in benchmarks).
+        self.proxied_bytes = 0
 
     # -- mount / layout management ------------------------------------------
     def mount(self):
@@ -109,23 +123,66 @@ class PnfsClient(Nfs4Client):
     def _ds_for(self, layout, slot: int) -> Nfs4Server:
         return self.devices[layout.device_slots[slot]]
 
+    # -- failover (paper §5: fall back to NFSv4 I/O through the MDS) --------
+    def _ds_down(self, ds: Nfs4Server) -> bool:
+        """True while ``ds`` is blacklisted.  An expired entry returns
+        False so the next I/O probes the direct path again."""
+        until = self._ds_blacklist.get(ds)
+        return until is not None and self.sim.now < until
+
+    def _note_ds_ok(self, ds: Nfs4Server) -> None:
+        """A direct call to a (formerly blacklisted) server succeeded:
+        direct access is recovered."""
+        if ds in self._ds_blacklist:
+            del self._ds_blacklist[ds]
+            self.recoveries += 1
+
+    def _note_ds_failure(self, f: OpenFile, ds: Nfs4Server):
+        """A direct call to ``ds`` timed out: blacklist it and return
+        the layout so the MDS knows we are falling back (LAYOUTRETURN,
+        §5).  Subsequent I/O to its stripes is proxied until a probe
+        after ``cfg.ds_retry_interval`` finds it healthy."""
+        newly = not self._ds_down(ds)
+        self._ds_blacklist[ds] = self.sim.now + self.cfg.ds_retry_interval
+        if newly:
+            self.failovers += 1
+            try:
+                yield from self.layout_return(f)
+            except RpcTimeout:
+                # The MDS is unreachable too; nothing left to fail over
+                # to — the layout will be recalled when state recovers.
+                pass
+
     def _io_read(self, f: OpenFile, offset: int, nbytes: int):
         yield from self._ensure_layout(f)
         layout, agg = f.state["layout"], f.state["agg"]
         segments = agg.map(offset, nbytes, for_write=False)
         results: list = [None] * len(segments)
 
-        def seg_read(i, seg):
-            res, data = yield from self._call(
-                "read",
-                {
-                    "fh": layout.fhs[seg.device_slot],
-                    "offset": seg.offset,
-                    "nbytes": seg.length,
-                },
-                server=self._ds_for(layout, seg.device_slot),
-            )
+        def proxy_read(i, seg):
+            res, data = yield from Nfs4Client._io_read(self, f, seg.offset, seg.length)
+            self.proxied_bytes += data.nbytes
             results[i] = (res, data)
+
+        def seg_read(i, seg):
+            ds = self._ds_for(layout, seg.device_slot)
+            if not self._ds_down(ds):
+                try:
+                    res, data = yield from self._call(
+                        "read",
+                        {
+                            "fh": layout.fhs[seg.device_slot],
+                            "offset": seg.offset,
+                            "nbytes": seg.length,
+                        },
+                        server=ds,
+                    )
+                    self._note_ds_ok(ds)
+                    results[i] = (res, data)
+                    return
+                except RpcTimeout:
+                    yield from self._note_ds_failure(f, ds)
+            yield from proxy_read(i, seg)
 
         procs = [
             self.sim.process(seg_read(i, seg)) for i, seg in enumerate(segments)
@@ -156,18 +213,33 @@ class PnfsClient(Nfs4Client):
         layout, agg = f.state["layout"], f.state["agg"]
         segments = agg.map(offset, payload.nbytes, for_write=True)
 
+        def proxy_write(seg, sub):
+            yield from Nfs4Client._io_write(self, f, seg.offset, sub)
+            self.proxied_bytes += sub.nbytes
+            # Proxied data is only durable via a COMMIT at the MDS.
+            f.state["mds_dirty"] = True
+
         def seg_write(seg):
-            yield from self._call(
-                "write",
-                {"fh": layout.fhs[seg.device_slot], "offset": seg.offset},
-                payload=payload.slice(seg.offset - offset, seg.length),
-                server=self._ds_for(layout, seg.device_slot),
-            )
+            ds = self._ds_for(layout, seg.device_slot)
+            sub = payload.slice(seg.offset - offset, seg.length)
+            if not self._ds_down(ds):
+                try:
+                    yield from self._call(
+                        "write",
+                        {"fh": layout.fhs[seg.device_slot], "offset": seg.offset},
+                        payload=sub,
+                        server=ds,
+                    )
+                    self._note_ds_ok(ds)
+                    f.state["commit_slots"].add(seg.device_slot)
+                    return
+                except RpcTimeout:
+                    yield from self._note_ds_failure(f, ds)
+            yield from proxy_write(seg, sub)
 
         procs = [self.sim.process(seg_write(seg)) for seg in segments]
         if procs:
             yield self.sim.all_of(procs)
-        f.state["commit_slots"].update(seg.device_slot for seg in segments)
         return {"count": payload.nbytes}, None
 
     def _io_commit(self, f: OpenFile):
@@ -175,20 +247,33 @@ class PnfsClient(Nfs4Client):
         layout = f.state["layout"]
         if layout.commit_through_mds:
             yield from super()._io_commit(f)
+            f.state["mds_dirty"] = False
         else:
-            slots = sorted(f.state["commit_slots"])
+            need_mds = [f.state.pop("mds_dirty", False)]
+
+            def seg_commit(slot):
+                ds = self._ds_for(layout, slot)
+                if not self._ds_down(ds):
+                    try:
+                        yield from self._call(
+                            "commit", {"fh": layout.fhs[slot]}, server=ds
+                        )
+                        self._note_ds_ok(ds)
+                        return
+                    except RpcTimeout:
+                        yield from self._note_ds_failure(f, ds)
+                # Data written through this server reached the shared
+                # backend; a COMMIT at the MDS makes it durable there.
+                need_mds[0] = True
+
             procs = [
-                self.sim.process(
-                    self._call(
-                        "commit",
-                        {"fh": layout.fhs[slot]},
-                        server=self._ds_for(layout, slot),
-                    )
-                )
-                for slot in slots
+                self.sim.process(seg_commit(slot))
+                for slot in sorted(f.state["commit_slots"])
             ]
             if procs:
                 yield self.sim.all_of(procs)
+            if need_mds[0]:
+                yield from Nfs4Client._io_commit(self, f)
         f.state["commit_slots"].clear()
         # Inform the MDS of metadata changes — only when the file size
         # may actually have moved (Linux sends LAYOUTCOMMIT only for

@@ -19,7 +19,28 @@ Handlers are simulation generators ``handler(args, payload)`` returning
 :class:`~repro.vfs.api.Payload` or ``None``.  Raising an
 :class:`~repro.vfs.api.FsError` inside a handler propagates the error
 to the caller of :func:`call` (transported in the reply, charged at
-header size), mirroring NFS status codes.
+header size), mirroring NFS status codes.  A handler raising anything
+*else* is a server bug: the server converts it into a traced
+:class:`RpcServerError` reply so accounting (``calls_served``, trace
+records, thread release) stays consistent.
+
+Failure handling
+----------------
+Without a :class:`RpcPolicy`, a call behaves exactly as described above
+and blocks forever if the server is down or the network eats a message
+— the pre-fault-layer behaviour, preserved so calibrated benchmarks are
+bit-identical.  With a policy, each attempt runs under a client-side
+timer: on expiry the attempt is interrupted (resources are released via
+the normal unwind path), the timer backs off exponentially, and the
+request is retransmitted up to ``max_retries`` times before the call
+raises :class:`RpcTimeout` — deliberately *not* an ``FsError``, since
+no reply (not even an error reply) was ever received.
+
+Retransmission is made exactly-once for non-idempotent operations by
+the NFSv4.1 session reply cache: pass ``session``/``seq`` (see
+:class:`repro.nfs.sessions.Session`) and a retried request whose
+original execution already completed server-side replays the cached
+reply instead of re-running the handler.
 """
 
 from __future__ import annotations
@@ -27,15 +48,78 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
 from repro.sim.node import Node
 from repro.sim.resources import Resource
 from repro.vfs.api import FsError, Payload
 
-__all__ = ["RpcCosts", "RpcServer", "call"]
+__all__ = [
+    "RpcCosts",
+    "RpcPolicy",
+    "RpcServer",
+    "RpcServerError",
+    "RpcTimeout",
+    "call",
+]
 
 #: Bytes of header/marshalling attributed to every request and reply.
 HEADER_BYTES = 160
+
+
+class RpcTimeout(Exception):
+    """A call exhausted its retry budget without receiving a reply.
+
+    Distinct from :class:`~repro.vfs.api.FsError` on purpose: an
+    ``FsError`` is a *reply* (the server answered with a status code);
+    a timeout means the server may or may not have executed the request
+    — the caller must treat the outcome as unknown.
+    """
+
+    def __init__(self, message: str, server: str = "", proc: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.server = server
+        self.proc = proc
+        self.attempts = attempts
+
+
+class RpcServerError(FsError):
+    """Reply carrying an unexpected (non-``FsError``) handler failure.
+
+    The server-side equivalent of NFS4ERR_SERVERFAULT: the handler
+    crashed, the server logged it and sent an error reply instead of
+    silently dropping the exchange.
+    """
+
+
+@dataclass(frozen=True)
+class RpcPolicy:
+    """Client-side timeout/retry behaviour for one call (or one stack).
+
+    ``timeout`` is the first attempt's patience; each retransmission
+    multiplies it by ``backoff`` up to ``max_timeout`` (classic RPC RTO
+    doubling).  ``max_retries`` bounds retransmissions *after* the
+    first attempt, so a call makes at most ``1 + max_retries`` attempts
+    before raising :class:`RpcTimeout`.
+    """
+
+    timeout: float = 1.0
+    max_retries: int = 5
+    backoff: float = 2.0
+    max_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_timeout < self.timeout:
+            raise ValueError("max_timeout must be >= timeout")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timer for attempt number ``attempt`` (0-based)."""
+        return min(self.timeout * self.backoff**attempt, self.max_timeout)
 
 
 @dataclass(frozen=True)
@@ -86,6 +170,27 @@ class RpcServer:
         self.threads = Resource(sim, threads, name=f"{name}.threads")
         self._handlers: dict[str, Callable] = {}
         self.calls_served = 0
+        #: Error replies sent (FsError statuses + converted handler bugs).
+        self.errors = 0
+        #: Replies served from a session reply cache without re-running
+        #: the handler (exactly-once retransmission hits).
+        self.calls_replayed = 0
+        #: Service liveness.  A down server silently swallows requests
+        #: and replies — the fail-stop model; messages in flight to it
+        #: are lost, and only a client-side timer notices.
+        self.up = True
+        self.fail_count = 0
+
+    def fail(self) -> None:
+        """Take the service down (fail-stop).  In-flight exchanges are
+        lost at their next checkpoint; new requests disappear."""
+        self.up = False
+        self.fail_count += 1
+
+    def restore(self) -> None:
+        """Bring the service back.  Requests lost while down stay lost
+        (clients must retransmit); session reply caches survive."""
+        self.up = True
 
     def register(self, proc: str, handler: Callable) -> None:
         """Register generator ``handler(args, payload)`` for ``proc``."""
@@ -100,22 +205,30 @@ class RpcServer:
             raise KeyError(f"{self.name}: no handler for procedure {proc!r}") from None
 
 
-def call(
+def _lost(sim: Simulator):
+    """An event that never fires: a message swallowed by a dead server.
+
+    A process parked on it waits forever — unless a retry timer
+    interrupts it (the fault layer) or the simulation simply runs out
+    of events (the documented hang without one).
+    """
+    return Event(sim)
+
+
+def _attempt(
     client_node: Node,
     server: RpcServer,
     proc: str,
-    args: object = None,
-    payload: Optional[Payload] = None,
-    args_bytes: int = 64,
+    handler: Callable,
+    args: object,
+    payload: Optional[Payload],
+    args_bytes: int,
+    session,
+    seq: Optional[int],
+    retries: int,
 ):
-    """Process generator performing one RPC; returns the handler result.
-
-    ``payload`` rides in the request (writes); the handler's reply
-    payload rides in the response (reads).  The returned value is
-    ``(result, reply_payload)`` exactly as produced by the handler.
-    """
+    """One request/reply exchange (the pre-fault-layer ``call`` body)."""
     sim = client_node.sim
-    handler = server.handler(proc)  # fail fast on bad procedure
     costs = server.costs
     req_payload_bytes = payload.nbytes if payload is not None else 0
     req_bytes = HEADER_BYTES + args_bytes + req_payload_bytes
@@ -140,6 +253,8 @@ def call(
             )
         )
     yield sim.all_of(request_legs)
+    if not server.up:
+        yield _lost(sim)  # request arrived at a dead server
 
     # 2. Server processing under a worker thread.
     yield server.threads.acquire()
@@ -147,15 +262,37 @@ def call(
     result = None
     reply_payload: Optional[Payload] = None
     try:
+        if not server.up:
+            yield _lost(sim)  # server died while the request queued
         yield from server.node.compute(
             costs.server_per_call + costs.per_byte_in * req_payload_bytes
         )
-        try:
-            result, reply_payload = yield from handler(args, payload)
-        except FsError as exc:
-            error = exc
+        cached = session.cached_reply(seq) if session is not None and seq is not None else None
+        if cached is not None:
+            # NFSv4.1 slot-table retransmission hit: replay the reply
+            # recorded by the original execution — exactly-once.
+            result, reply_payload, error = cached
+            server.calls_replayed += 1
+        else:
+            try:
+                result, reply_payload = yield from handler(args, payload)
+            except FsError as exc:
+                error = exc
+            except (Interrupt, SimulationError):
+                raise
+            except Exception as exc:
+                # Server bug: do not let it escape the reply path — the
+                # exchange completes as a traced server-error reply.
+                error = RpcServerError(
+                    f"{server.name}.{proc}: unhandled handler exception: {exc!r}"
+                )
+                error.__cause__ = exc
+            if session is not None and seq is not None:
+                session.cache_reply(seq, result, reply_payload, error)
         # 3. Reply: server copy-out, wire, and client copy-in all
         #    overlap (chunk-pipelined), while the thread stays busy.
+        if not server.up:
+            yield _lost(sim)  # server died before the reply left
         reply_payload_bytes = reply_payload.nbytes if reply_payload is not None else 0
         reply_bytes = HEADER_BYTES + reply_payload_bytes
         reply_legs = [
@@ -178,6 +315,8 @@ def call(
             )
         yield sim.all_of(reply_legs)
         server.calls_served += 1
+        if error is not None:
+            server.errors += 1
     finally:
         server.threads.release()
 
@@ -194,8 +333,111 @@ def call(
                 req_bytes=req_payload_bytes,
                 reply_bytes=reply_payload.nbytes if reply_payload is not None else 0,
                 error=error is not None,
+                retries=retries,
             )
         )
     if error is not None:
         raise error
     return result, reply_payload
+
+
+def call(
+    client_node: Node,
+    server: RpcServer,
+    proc: str,
+    args: object = None,
+    payload: Optional[Payload] = None,
+    args_bytes: int = 64,
+    policy: Optional[RpcPolicy] = None,
+    session=None,
+    seq: Optional[int] = None,
+):
+    """Process generator performing one RPC; returns the handler result.
+
+    ``payload`` rides in the request (writes); the handler's reply
+    payload rides in the response (reads).  The returned value is
+    ``(result, reply_payload)`` exactly as produced by the handler.
+
+    ``policy`` enables client-side timeouts with exponential backoff
+    and retransmission (see :class:`RpcPolicy`); without it the call
+    waits forever, exactly as before the fault layer existed.
+    ``session``/``seq`` engage the NFSv4.1 reply cache so retransmitted
+    non-idempotent operations execute exactly once.
+    """
+    sim = client_node.sim
+    handler = server.handler(proc)  # fail fast on bad procedure
+
+    if policy is None:
+        # Fast path: identical behaviour (and event schedule) to the
+        # pre-fault-layer RPC — calibrated benchmarks depend on it.
+        try:
+            result = yield from _attempt(
+                client_node, server, proc, handler, args, payload,
+                args_bytes, session, seq, retries=0,
+            )
+        finally:
+            if session is not None and seq is not None:
+                session.retire(seq)
+        return result
+
+    from repro.tracing import current_tracer
+
+    t_first = sim.now
+    attempt_no = 0
+    try:
+        while True:
+            attempt = sim.process(
+                _attempt(
+                    client_node, server, proc, handler, args, payload,
+                    args_bytes, session, seq, retries=attempt_no,
+                ),
+                name=f"rpc:{proc}@{server.name}",
+            )
+            timer = sim.timeout(policy.timeout_for(attempt_no))
+            try:
+                idx, value = yield sim.any_of([attempt, timer])
+            except FsError:
+                raise  # an error *reply* — the exchange completed
+            if idx == 0:
+                return value
+            # Timer fired first.  A photo finish (attempt completed in
+            # the same instant) still counts as delivered.
+            if not attempt.is_alive:
+                attempt.defuse()
+                if attempt.ok:
+                    return attempt.value
+                raise attempt.value
+            # The attempt is genuinely stuck: abandon it.  The interrupt
+            # unwinds its generator stack, releasing worker threads,
+            # resource grants, and network pipes via their finallys.
+            attempt.defuse()
+            attempt.interrupt("rpc timeout")
+            attempt_no += 1
+            if attempt_no > policy.max_retries:
+                tracer = current_tracer()
+                if tracer is not None:
+                    from repro.tracing import RpcRecord
+
+                    tracer.record(
+                        RpcRecord(
+                            start=t_first,
+                            end=sim.now,
+                            client=client_node.name,
+                            server=server.name,
+                            proc=proc,
+                            req_bytes=payload.nbytes if payload is not None else 0,
+                            reply_bytes=0,
+                            error=True,
+                            retries=attempt_no - 1,
+                            timeout=True,
+                        )
+                    )
+                raise RpcTimeout(
+                    f"{proc} to {server.name}: no reply after {attempt_no} attempts",
+                    server=server.name,
+                    proc=proc,
+                    attempts=attempt_no,
+                )
+    finally:
+        if session is not None and seq is not None:
+            session.retire(seq)

@@ -6,7 +6,8 @@ primitives (:mod:`repro.sim.resources`), and hardware models — network
 (:mod:`repro.sim.network`), disk (:mod:`repro.sim.disk`), CPU
 (:mod:`repro.sim.cpu`) — composed into cluster nodes
 (:mod:`repro.sim.node`) with measurement helpers
-(:mod:`repro.sim.stats`).
+(:mod:`repro.sim.stats`) and deterministic fault injection
+(:mod:`repro.sim.faults`).
 
 All protocol implementations (NFSv4, pNFS, PVFS2, Direct-pNFS) run as
 processes on this engine, so that the same code path serves both the
@@ -25,7 +26,8 @@ from repro.sim.engine import (
 )
 from repro.sim.resources import Resource, Store, TokenBucket
 from repro.sim.network import Network, Nic, Flow
-from repro.sim.disk import Disk, DiskSpec
+from repro.sim.disk import Disk, DiskFailed, DiskSpec
+from repro.sim.faults import FaultInjector
 from repro.sim.cpu import Cpu, CpuSpec
 from repro.sim.node import Node, NodeSpec
 from repro.sim.stats import Counter, ThroughputMeter, LatencyRecorder
@@ -37,8 +39,10 @@ __all__ = [
     "Cpu",
     "CpuSpec",
     "Disk",
+    "DiskFailed",
     "DiskSpec",
     "Event",
+    "FaultInjector",
     "Flow",
     "Interrupt",
     "LatencyRecorder",

@@ -24,7 +24,16 @@ from typing import Optional
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 
-__all__ = ["DiskSpec", "Disk"]
+__all__ = ["DiskFailed", "DiskSpec", "Disk"]
+
+
+class DiskFailed(Exception):
+    """An I/O was issued to (or caught mid-flight by) a failed disk.
+
+    Deliberately not an :class:`~repro.vfs.api.FsError`: media failure
+    is a hardware event the storage daemon must translate into protocol
+    errors (or mask via recovery) itself.
+    """
 
 #: Chunk used to interleave media transfers through a shared I/O bus.
 DISK_CHUNK = 512 * 1024
@@ -93,14 +102,37 @@ class Disk:
         self.write_bytes = 0
         self.requests = 0
         self.busy_time = 0.0
+        #: Set by the fault injector; requests against a failed disk
+        #: raise :class:`DiskFailed` instead of touching the media.
+        self.failed = False
+        self.failed_requests = 0
+
+    def fail(self) -> None:
+        """Fail the media: every request raises :class:`DiskFailed`
+        until :meth:`restore`.  Requests already past their failure
+        check complete normally (the drive's track buffer drains)."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Bring the media back (a drive swap: the arm position is no
+        longer meaningful, so the next request pays full positioning)."""
+        self.failed = False
+        self._last_end = -1
+
+    def _check_failed(self) -> None:
+        if self.failed:
+            self.failed_requests += 1
+            raise DiskFailed(f"{self.name}: media failed")
 
     def io(self, offset: int, nbytes: int, write: bool):
         """Process generator performing one request against the media."""
         if offset < 0 or nbytes < 0:
             raise ValueError("offset/nbytes must be >= 0")
+        self._check_failed()
         yield self.arm.acquire()
         t_start = self.sim.now
         try:
+            self._check_failed()
             self.requests += 1
             if offset != self._last_end:
                 # Forward sweeps over short gaps are cheap; anything

@@ -48,8 +48,25 @@ class Nic:
         self.bandwidth = bandwidth
         self.tx = Resource(sim, 1, name=f"{name}.tx", policy="random")
         self.rx = Resource(sim, 1, name=f"{name}.rx", policy="random")
+        #: Payload bytes sent/received over the wire.  Framing overhead
+        #: (``Network.per_message_bytes``) is charged for *time* on the
+        #: pipes but excluded here, so these counters compare directly
+        #: against application-level byte counts.  Loopback transfers
+        #: never touch the wire and are tallied in ``loopback_bytes``.
         self.tx_bytes = 0
         self.rx_bytes = 0
+        #: Payload bytes moved through loopback (src == dst) transfers.
+        self.loopback_bytes = 0
+        #: Fault-injection state (see :mod:`repro.sim.faults`).  A down
+        #: NIC loses every flow touching it; ``drop_prob`` loses a
+        #: random fraction; ``extra_latency`` is added to the one-way
+        #: latency of flows through this NIC.  Lost flows never
+        #: complete — only sender-side timeouts (the RPC retry layer)
+        #: notice them, exactly as on a real network.
+        self.down = False
+        self.drop_prob = 0.0
+        self.extra_latency = 0.0
+        self.flows_dropped = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Nic {self.name} {self.bandwidth/1e6:.0f} MB/s>"
@@ -120,19 +137,43 @@ class Network:
         transfers (src == dst) skip the wire entirely; the memory-copy
         cost of loopback is charged by the caller as CPU time, which is
         how the Direct-pNFS prototype's loopback conduit is modelled.
+
+        Byte accounting is uniform: every completed transfer counts one
+        ``flows_completed``; ``nbytes`` of *payload* lands in the NIC's
+        ``tx_bytes``/``rx_bytes`` for wire transfers and in
+        ``loopback_bytes`` for loopback ones.  The ``per_message_bytes``
+        framing overhead occupies pipe time (it slows the wire) but is
+        deliberately excluded from all byte counters, so they stay
+        comparable with application-level accounting.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         flow = Flow(src, dst, nbytes, self.sim.now)
         if src == dst:
+            lnic = self._nics.get(src)
+            if lnic is not None:
+                lnic.loopback_bytes += nbytes
             flow.end = self.sim.now
             self.flows_completed += 1
             return flow
 
         snic = self.nic(src)
         dnic = self.nic(dst)
-        if self.latency > 0:
-            yield self.sim.timeout(self.latency)
+        dropped = snic.down or dnic.down
+        for nic in (snic, dnic):
+            if not dropped and nic.drop_prob > 0.0:
+                dropped = float(self.sim.rng.random()) < nic.drop_prob
+        if dropped:
+            # The flow vanishes on the wire: it never completes, and no
+            # error surfaces here — a waiting process hangs until an
+            # RPC timeout (repro.rpc) interrupts it.
+            snic.flows_dropped += 1
+            from repro.sim.engine import Event
+
+            yield Event(self.sim)
+        latency = self.latency + snic.extra_latency + dnic.extra_latency
+        if latency > 0:
+            yield self.sim.timeout(latency)
 
         # Store-and-forward through the switch with a small per-flow
         # window: a chunk occupies the sender's tx pipe, is buffered at
@@ -167,8 +208,8 @@ class Network:
         if live:
             yield self.sim.all_of(live)
 
-        snic.tx_bytes += nbytes + self.per_message_bytes
-        dnic.rx_bytes += nbytes + self.per_message_bytes
+        snic.tx_bytes += nbytes
+        dnic.rx_bytes += nbytes
         flow.end = self.sim.now
         self.flows_completed += 1
         return flow

@@ -11,18 +11,22 @@ activity::
     print(tracer.summary())
 
 Records carry (start, end, client node, server name, procedure, request
-payload bytes, reply payload bytes, error flag).  The analysis helpers
-aggregate by procedure and by server — enough to answer "why is this
-workload slow" without reading event logs.
+payload bytes, reply payload bytes, error flag) plus the failure-path
+annotations added with the fault layer: ``retries`` (how many
+retransmissions preceded this exchange) and ``timeout`` (the call gave
+up after exhausting its retry budget — no reply was ever received).
+The analysis helpers aggregate by procedure and by server — enough to
+answer "why is this workload slow" without reading event logs.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
-__all__ = ["RpcRecord", "RpcTracer", "current_tracer"]
+__all__ = ["RpcRecord", "RpcTracer", "current_tracer", "nearest_rank"]
 
 _ACTIVE: Optional["RpcTracer"] = None
 
@@ -32,9 +36,24 @@ def current_tracer() -> Optional["RpcTracer"]:
     return _ACTIVE
 
 
+def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """The q-quantile of ``sorted_values`` by the nearest-rank method.
+
+    Nearest rank: the smallest value with at least ``ceil(q * n)``
+    values at or below it — index ``ceil(q * n) - 1``.  Correct for
+    small samples (q=0.95 of n=20 is the 19th value, not the max; of
+    n=1 it is the only value).
+    """
+    if not sorted_values:
+        raise ValueError("no values")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    return sorted_values[max(0, math.ceil(q * len(sorted_values)) - 1)]
+
+
 @dataclass(frozen=True)
 class RpcRecord:
-    """One completed RPC."""
+    """One completed RPC exchange (or a final, given-up timeout)."""
 
     start: float
     end: float
@@ -44,6 +63,11 @@ class RpcRecord:
     req_bytes: int
     reply_bytes: int
     error: bool
+    #: Retransmissions that preceded this exchange (0 = first try).
+    retries: int = 0
+    #: True when the call exhausted its retry budget and raised
+    #: :class:`~repro.rpc.RpcTimeout`; no reply was received.
+    timeout: bool = False
 
     @property
     def latency(self) -> float:
@@ -87,20 +111,45 @@ class RpcTracer:
     def total_payload_bytes(self) -> int:
         return sum(r.req_bytes + r.reply_bytes for r in self.records)
 
+    def server_counters(self) -> dict[str, dict[str, int]]:
+        """Per-server failure accounting: errors, timeouts, retries.
+
+        ``errors`` counts completed exchanges whose reply carried an
+        error status; ``timeouts`` counts calls that gave up without a
+        reply; ``retries`` sums retransmissions across all records.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for r in self.records:
+            c = out.setdefault(
+                r.server, {"calls": 0, "errors": 0, "timeouts": 0, "retries": 0}
+            )
+            c["calls"] += 1
+            if r.timeout:
+                c["timeouts"] += 1
+            elif r.error:
+                c["errors"] += 1
+            c["retries"] += r.retries
+        return out
+
     def summary(self) -> str:
-        """Per-procedure table: count, mean latency, payload volume."""
+        """Per-procedure table: count, latency, volume, failure counts.
+
+        The ``errors`` column counts every call that did not return a
+        successful reply — error replies *and* timed-out calls.
+        """
         lines = [
             f"{'procedure':>16} {'calls':>7} {'mean ms':>9} {'p95 ms':>9} "
-            f"{'MB moved':>9} {'errors':>7}"
+            f"{'MB moved':>9} {'errors':>7} {'retries':>8}"
         ]
         for proc, records in sorted(self.by_proc().items()):
             lat = sorted(r.latency for r in records)
             mean = sum(lat) / len(lat)
-            p95 = lat[min(len(lat) - 1, int(0.95 * len(lat)))]
+            p95 = nearest_rank(lat, 0.95)
             volume = sum(r.req_bytes + r.reply_bytes for r in records) / 1e6
-            errors = sum(r.error for r in records)
+            errors = sum(1 for r in records if r.error or r.timeout)
+            retries = sum(r.retries for r in records)
             lines.append(
                 f"{proc:>16} {len(records):>7} {mean * 1e3:>9.2f} "
-                f"{p95 * 1e3:>9.2f} {volume:>9.1f} {errors:>7}"
+                f"{p95 * 1e3:>9.2f} {volume:>9.1f} {errors:>7} {retries:>8}"
             )
         return "\n".join(lines)

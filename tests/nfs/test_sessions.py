@@ -1,0 +1,105 @@
+"""Session slot-table and reply-cache tests."""
+
+from repro.nfs.sessions import Session
+from repro.sim import Interrupt, Simulator
+
+
+class TestHighWaterMark:
+    def test_counts_concurrent_holders(self):
+        sim = Simulator()
+        session = Session(sim, slots=2)
+
+        def holder(hold_for):
+            yield session.slot()
+            try:
+                yield sim.timeout(hold_for)
+            finally:
+                session.done()
+
+        sim.process(holder(0.2))
+        sim.process(holder(0.1))
+        sim.run()
+        assert session.highest_used == 2
+        assert session.slots.in_use == 0
+
+    def test_queued_acquire_counted_when_granted(self):
+        """With one slot, a queued second caller must still register an
+        occupancy of 1 when *it* finally holds the slot."""
+        sim = Simulator()
+        session = Session(sim, slots=1)
+
+        def holder(hold_for):
+            yield session.slot()
+            try:
+                yield sim.timeout(hold_for)
+            finally:
+                session.done()
+
+        sim.process(holder(0.1))
+        sim.process(holder(0.1))
+        sim.run()
+        assert session.highest_used == 1
+
+    def test_abandoned_grant_not_counted(self):
+        """Regression: ``highest_used`` used to be sampled when the
+        acquire event was *created*, so a grant abandoned before being
+        consumed (the waiter was interrupted — e.g. by an RPC timeout)
+        inflated the high-water mark.  The mark must be sampled at
+        grant time, after urgent interrupts have returned the slot."""
+        sim = Simulator()
+        session = Session(sim, slots=2)
+
+        def phantom():
+            try:
+                yield session.slot()
+            except Interrupt:
+                # The abandon hook already returned the slot; the
+                # phantom never actually held it.
+                return
+
+        def holder():
+            yield session.slot()
+            try:
+                yield sim.timeout(0.1)
+            finally:
+                session.done()
+
+        p = sim.process(phantom())
+        sim.process(holder())
+
+        def killer():
+            # Runs at t=0 after both acquires were granted but before
+            # either grant event's callbacks fire (urgent interrupt
+            # events process first): the phantom's slot is returned
+            # before any occupancy sample is taken.
+            p.interrupt("rpc timeout")
+            return
+            yield  # pragma: no cover
+
+        sim.process(killer())
+        sim.run()
+        assert session.highest_used == 1
+        assert session.slots.in_use == 0
+
+
+class TestReplyCache:
+    def test_roundtrip_and_retire(self):
+        sim = Simulator()
+        session = Session(sim, slots=4)
+        s1, s2 = session.next_seq(), session.next_seq()
+        assert s1 != s2
+        assert session.cached_reply(s1) is None
+        session.cache_reply(s1, {"count": 3}, None, None)
+        assert session.cached_reply(s1) == ({"count": 3}, None, None)
+        assert session.replays == 1
+        session.retire(s1)
+        assert session.cached_reply(s1) is None
+        session.retire(s1)  # idempotent
+
+    def test_error_replies_cached_too(self):
+        sim = Simulator()
+        session = Session(sim, slots=4)
+        seq = session.next_seq()
+        err = ValueError("status")
+        session.cache_reply(seq, None, None, err)
+        assert session.cached_reply(seq) == (None, None, err)

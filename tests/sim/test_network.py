@@ -209,3 +209,55 @@ class TestSharing:
         assert net.nic("n0").tx_bytes == 1234
         assert net.nic("n1").rx_bytes == 1234
         assert net.flows_completed == 1
+
+
+class TestByteAccounting:
+    """Regression: counters must be uniform — payload bytes only, with
+    loopback tallied separately (it never touches the wire)."""
+
+    def test_wire_counters_exclude_framing(self):
+        sim = Simulator()
+        net = make_net(sim, bw=100e6, per_message_bytes=120)
+
+        def xfer():
+            yield from net.transfer("n0", "n1", 10_000)
+
+        sim.process(xfer())
+        sim.run()
+        # Framing used to leak into the counters (10_120 here).
+        assert net.nic("n0").tx_bytes == 10_000
+        assert net.nic("n1").rx_bytes == 10_000
+        assert net.flows_completed == 1
+
+    def test_framing_still_costs_wire_time(self):
+        sim = Simulator()
+        bare = make_net(sim, bw=100e6, per_message_bytes=0)
+        framed = Network(sim, latency=0.0, per_message_bytes=100_000)
+        framed.add_nic("a", 100e6)
+        framed.add_nic("b", 100e6)
+
+        times = {}
+
+        def xfer(net, key):
+            t0 = sim.now
+            yield from net.transfer(*(("n0", "n1") if key == "bare" else ("a", "b")), 1_000_000)
+            times[key] = sim.now - t0
+
+        sim.process(xfer(bare, "bare"))
+        sim.process(xfer(framed, "framed"))
+        sim.run()
+        assert times["framed"] > times["bare"]
+
+    def test_loopback_counted_separately(self):
+        sim = Simulator()
+        net = make_net(sim, per_message_bytes=120)
+
+        def xfer():
+            yield from net.transfer("n0", "n0", 5_000)
+
+        sim.process(xfer())
+        sim.run()
+        nic = net.nic("n0")
+        assert nic.loopback_bytes == 5_000
+        assert nic.tx_bytes == 0 and nic.rx_bytes == 0
+        assert net.flows_completed == 1

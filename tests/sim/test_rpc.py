@@ -155,3 +155,52 @@ class TestTiming:
         )
         assert costs.per_byte_in == 50e-9
         assert costs.per_byte_out == 5e-9
+
+
+class TestHandlerCrash:
+    """Regression: a handler raising a non-FsError must not escape the
+    reply path — the server converts it into a traced error reply, so
+    ``calls_served`` and the tracer stay consistent."""
+
+    def make_buggy_server(self, cluster):
+        server = make_server(cluster)
+
+        def boom(args, payload):
+            raise ValueError("handler bug")
+            yield  # pragma: no cover
+
+        server.register("boom", boom)
+        return server
+
+    def test_converted_to_server_error_reply(self, cluster):
+        server = self.make_buggy_server(cluster)
+
+        def scenario():
+            try:
+                yield from rpc.call(cluster.clients[0], server, "boom", {})
+            except rpc.RpcServerError as exc:
+                return exc
+
+        exc = drive(cluster.sim, scenario())
+        assert isinstance(exc, rpc.RpcServerError)
+        assert isinstance(exc, FsError)  # callers treat it like a status
+        assert isinstance(exc.__cause__, ValueError)
+        # The exchange completed: accounting did not drift.
+        assert server.calls_served == 1
+        assert server.errors == 1
+
+    def test_crash_reply_is_traced(self, cluster):
+        from repro.tracing import RpcTracer
+
+        server = self.make_buggy_server(cluster)
+
+        def scenario():
+            try:
+                yield from rpc.call(cluster.clients[0], server, "boom", {})
+            except rpc.RpcServerError:
+                pass
+
+        with RpcTracer() as tracer:
+            drive(cluster.sim, scenario())
+        assert len(tracer.records) == 1
+        assert tracer.records[0].error

@@ -3,10 +3,25 @@
 import pytest
 
 from repro import rpc
-from repro.tracing import RpcRecord, RpcTracer, current_tracer
+from repro.tracing import RpcRecord, RpcTracer, current_tracer, nearest_rank
 from repro.vfs.api import NoEntry, Payload
 
 from tests.conftest import build_cluster, drive
+
+
+def make_record(latency: float, **kw) -> RpcRecord:
+    fields = dict(
+        start=0.0,
+        end=latency,
+        client="c0",
+        server="svc",
+        proc="echo",
+        req_bytes=0,
+        reply_bytes=0,
+        error=False,
+    )
+    fields.update(kw)
+    return RpcRecord(**fields)
 
 
 def make_server(cluster):
@@ -92,6 +107,54 @@ class TestTracer:
         assert tracer.total_payload_bytes() == 5 * 200
         text = tracer.summary()
         assert "echo" in text and "5" in text
+
+    def test_p95_uses_nearest_rank(self):
+        """Regression: p95 must be the nearest-rank quantile, not the
+        clamped index ``int(0.95 * n)`` (which returns the max for any
+        n <= 20)."""
+        # n = 1: the only sample is every quantile.
+        assert nearest_rank([7.0], 0.95) == 7.0
+        # n = 20: ceil(0.95 * 20) = 19 -> the 19th value, NOT the max.
+        lat20 = [float(i) for i in range(1, 21)]
+        assert nearest_rank(lat20, 0.95) == 19.0
+        # n = 100: ceil(95) = 95 -> the 95th value (index 94).
+        lat100 = [float(i) for i in range(1, 101)]
+        assert nearest_rank(lat100, 0.95) == 95.0
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.95)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+
+    def test_summary_p95_column_nearest_rank(self):
+        """The summary's p95 column for 20 x 1..20 ms must read 19.00,
+        not 20.00 (the pre-fix clamp-to-max)."""
+        tracer = RpcTracer()
+        for i in range(1, 21):
+            tracer.record(make_record(i / 1000.0))
+        row = tracer.summary().splitlines()[1].split()
+        # columns: proc calls mean p95 MB errors retries
+        assert row[0] == "echo"
+        assert row[3] == "19.00"
+
+    def test_summary_errors_column_counts_timeouts(self):
+        tracer = RpcTracer()
+        tracer.record(make_record(0.001))
+        tracer.record(make_record(0.002, error=True))
+        tracer.record(make_record(0.003, error=True, timeout=True, retries=3))
+        row = tracer.summary().splitlines()[1].split()
+        assert row[1] == "3"  # calls
+        assert row[5] == "2"  # errors: one error reply + one timeout
+        assert row[6] == "3"  # retries
+
+    def test_server_counters(self):
+        tracer = RpcTracer()
+        tracer.record(make_record(0.001, server="a"))
+        tracer.record(make_record(0.002, server="a", error=True))
+        tracer.record(make_record(0.003, server="a", error=True, timeout=True, retries=2))
+        tracer.record(make_record(0.001, server="b", retries=1))
+        counters = tracer.server_counters()
+        assert counters["a"] == {"calls": 3, "errors": 1, "timeouts": 1, "retries": 2}
+        assert counters["b"] == {"calls": 1, "errors": 0, "timeouts": 0, "retries": 1}
 
     def test_traces_full_stack_run(self, cluster):
         """Tracer sees the composed Direct-pNFS protocol mix."""

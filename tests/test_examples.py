@@ -46,6 +46,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "cross-country" in out
 
+    def test_failover_demo_small(self, capsys):
+        run_example("failover_demo.py", "0.05")
+        out = capsys.readouterr().out
+        assert "throughput degraded" in out
+        assert "failovers=1" in out and "recoveries=1" in out
+        assert "fail server" in out and "restore server" in out
+
     def test_bottleneck_analysis_small(self, capsys):
         run_example("bottleneck_analysis.py", "direct-pnfs", "write", "0.05")
         out = capsys.readouterr().out
