@@ -1,0 +1,97 @@
+"""Figure-level chunked-vs-fluid equivalence (the acceptance gate).
+
+Reruns the Fig. 6/7 write and read panels under both network models and
+asserts the fluid fast path does not change the *science*:
+
+* the paper's ordering at full client count must match — with ties
+  allowed, because the paper's own claim is "Direct-pNFS ≈ PVFS2 >
+  pNFS > NFSv4" and the top two sit within ~2 % of each other;
+* per-point throughput must agree within the chunked reference's own
+  noise floor.
+
+On tolerances: the chunked model's seeded-random pipe arbitration makes
+its figures seed-sensitive — measured spread across five seeds at the
+most volatile cells (single-client gateway configs, whose flush
+coalescing sits on a scheduling cliff) is 4–13 %, while saturated
+multi-client cells sit under 2 %.  The fluid model is one deterministic
+schedule, so we hold its drift from the default-seed chunked run to
+``PER_POINT_TOL`` (inside that measured noise) and the *median* drift —
+where seed noise averages out — to ``MEDIAN_TOL``.  Tightening the
+per-point bound below the reference's own seed variance would test the
+arbitration dice, not the physics.
+
+Config matches the validation runs: scale 0.1, client counts {1, 4, 8}.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.experiments import run_experiment
+
+SCALE = 0.1
+COUNTS = [1, 4, 8]
+
+#: Per-point ceiling: inside the chunked model's measured 4-13 % seed
+#: spread at its most volatile (n=1 gateway) cells.
+PER_POINT_TOL = 0.10
+#: Median across a panel, where arbitration noise averages out.
+MEDIAN_TOL = 0.03
+#: Two systems closer than this are a tie for ordering purposes.
+TIE_TOL = 0.02
+
+
+def ordering(values: dict[str, dict[int, float]], n: int) -> list[str]:
+    return sorted(values, key=lambda arch: -values[arch][n])
+
+
+def orderings_agree(cv, fv, n: int) -> bool:
+    """Same ranking, treating near-equal systems as interchangeable.
+
+    Every pair the chunked model separates by more than ``TIE_TOL``
+    must keep its order under fluid; pairs inside the tie band (e.g.
+    Direct-pNFS vs PVFS2 at saturation) may legitimately swap.
+    """
+    co = ordering(cv, n)
+    for i, x in enumerate(co):
+        for y in co[i + 1 :]:
+            gap = (cv[x][n] - cv[y][n]) / cv[x][n]
+            if gap > TIE_TOL and fv[x][n] < fv[y][n]:
+                return False
+    return True
+
+
+@pytest.mark.parametrize("exp_id", ["fig6a", "fig7a"])
+def test_fluid_reproduces_figure(exp_id):
+    chunked = run_experiment(
+        exp_id, scale=SCALE, client_counts=COUNTS, net_model="chunked"
+    )
+    fluid = run_experiment(
+        exp_id, scale=SCALE, client_counts=COUNTS, net_model="fluid"
+    )
+    cv, fv = chunked.values, fluid.values
+
+    drifts = {}
+    for arch in cv:
+        for n in COUNTS:
+            drifts[(arch, n)] = abs(fv[arch][n] - cv[arch][n]) / cv[arch][n]
+    print()
+    for (arch, n), d in sorted(drifts.items(), key=lambda kv: -kv[1])[:5]:
+        print(f"  worst drift {arch} n={n}: {d * 100:.1f}%")
+    print(f"  median drift: {statistics.median(drifts.values()) * 100:.1f}%")
+
+    assert max(drifts.values()) <= PER_POINT_TOL, (
+        "fluid drifted beyond the chunked seed-noise envelope: "
+        + ", ".join(
+            f"{arch} n={n}: {d * 100:.1f}%"
+            for (arch, n), d in drifts.items()
+            if d > PER_POINT_TOL
+        )
+    )
+    assert statistics.median(drifts.values()) <= MEDIAN_TOL
+
+    assert orderings_agree(cv, fv, max(COUNTS)), (
+        f"paper ordering changed under fluid: "
+        f"chunked {ordering(cv, max(COUNTS))} vs "
+        f"fluid {ordering(fv, max(COUNTS))}"
+    )

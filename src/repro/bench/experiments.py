@@ -206,8 +206,14 @@ def run_experiment(
     scale: float = 0.1,
     client_counts: list[int] | None = None,
     systems: list[str] | None = None,
+    net_model: str = "chunked",
 ) -> ExperimentResult:
-    """Run one figure panel's sweep and collect the metric values."""
+    """Run one figure panel's sweep and collect the metric values.
+
+    ``net_model`` selects the network flow model for every cell
+    (``"chunked"`` | ``"fluid"`` | ``"auto"``); the calibrated figures
+    use the default ``"chunked"``.
+    """
     exp = EXPERIMENTS[exp_id]
     counts = client_counts or exp.client_counts
     chosen = systems or exp.systems
@@ -223,6 +229,7 @@ def run_experiment(
                 net_bw=exp.net_bw,
                 nfs_overrides=exp.nfs_overrides or None,
                 pvfs_overrides=exp.pvfs_overrides or None,
+                net_model=net_model,
             )
             values[system][n] = exp.value_of(result)
             raw[(system, n)] = result

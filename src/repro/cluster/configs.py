@@ -245,8 +245,14 @@ def make_deployment(
     net_bw: float = GIGE,
     nfs_overrides: dict | None = None,
     pvfs_overrides: dict | None = None,
+    net_model: str = "chunked",
 ) -> Deployment:
-    """Build the named architecture on a fresh testbed."""
+    """Build the named architecture on a fresh testbed.
+
+    ``net_model`` selects the network flow model (``"chunked"`` |
+    ``"fluid"`` | ``"auto"``, see :mod:`repro.sim.network`); the
+    calibrated default stays ``"chunked"``.
+    """
     try:
         builder = ARCHITECTURES[arch]
     except KeyError:
@@ -254,5 +260,7 @@ def make_deployment(
             f"unknown architecture {arch!r}; choose from {sorted(ARCHITECTURES)}"
         ) from None
     disks = (0, 0, 0, 2, 2, 2) if arch == "pnfs-3tier" else (1, 1, 1, 1, 1, 1)
-    tb = Testbed(n_clients=n_clients, net_bw=net_bw, server_disks=disks)
+    tb = Testbed(
+        n_clients=n_clients, net_bw=net_bw, server_disks=disks, net_model=net_model
+    )
     return builder(tb, nfs_overrides=nfs_overrides, pvfs_overrides=pvfs_overrides)

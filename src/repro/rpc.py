@@ -384,6 +384,7 @@ def call(
 
     t_first = sim.now
     attempt_no = 0
+    timer = None
     try:
         while True:
             attempt = sim.process(
@@ -393,7 +394,13 @@ def call(
                 ),
                 name=f"rpc:{proc}@{server.name}",
             )
-            timer = sim.timeout(policy.timeout_for(attempt_no))
+            # Reuse one Timeout across retries: we only loop back here
+            # after the timer fired, so it is processed and re-armable.
+            # Saves an allocation per retransmission on lossy paths.
+            if timer is None:
+                timer = sim.timeout(policy.timeout_for(attempt_no))
+            else:
+                timer = timer.reset(policy.timeout_for(attempt_no))
             try:
                 idx, value = yield sim.any_of([attempt, timer])
             except FsError:

@@ -17,6 +17,7 @@ functional tests and the performance experiments.
 from repro.sim.engine import (
     AllOf,
     AnyOf,
+    EngineStats,
     Event,
     Interrupt,
     Process,
@@ -41,6 +42,7 @@ __all__ = [
     "Disk",
     "DiskFailed",
     "DiskSpec",
+    "EngineStats",
     "Event",
     "FaultInjector",
     "Flow",

@@ -31,11 +31,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "EngineStats",
     "Event",
     "Interrupt",
     "Process",
@@ -76,11 +79,15 @@ class Event:
     failure is *defused* by a waiter that handles it.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "ok", "_state", "_defused", "_abandon")
+    __slots__ = ("sim", "_cb1", "_cbs", "_value", "ok", "_state", "_defused", "_abandon")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        #: Single-waiter fast path: the overwhelmingly common case is one
+        #: process (or condition) waiting per event, so the first callback
+        #: lives in a slot and the overflow list is allocated lazily.
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self.ok: bool = True
         self._state = _PENDING
@@ -106,6 +113,22 @@ class Event:
         if self._state == _PENDING:
             raise SimulationError("value of untriggered event")
         return self._value
+
+    @property
+    def callbacks(self) -> Optional[list[Callable[["Event"], None]]]:
+        """Snapshot of pending callbacks; ``None`` once processed.
+
+        Introspection only — mutating the returned list has no effect
+        (the single-waiter slot is internal).
+        """
+        if self._state == _PROCESSED:
+            return None
+        out: list[Callable[["Event"], None]] = []
+        if self._cb1 is not None:
+            out.append(self._cb1)
+        if self._cbs:
+            out.extend(self._cbs)
+        return out
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
@@ -136,11 +159,15 @@ class Event:
 
     # -- engine internals ----------------------------------------------
     def _process_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
+        cb1, cbs = self._cb1, self._cbs
+        self._cb1 = None
+        self._cbs = None
         self._state = _PROCESSED
-        assert callbacks is not None
-        for cb in callbacks:
-            cb(self)
+        if cb1 is not None:
+            cb1(self)
+        if cbs:
+            for cb in cbs:
+                cb(self)
         if not self.ok and not self._defused:
             # Nobody caught the failure: surface it to the caller of run().
             raise self._value
@@ -150,10 +177,29 @@ class Event:
 
         If the event already fired, the callback runs immediately.
         """
-        if self.callbacks is None:
+        if self._state == _PROCESSED:
             fn(self)
+        elif self._cb1 is None and not self._cbs:
+            self._cb1 = fn
+        elif self._cbs is None:
+            self._cbs = [fn]
         else:
-            self.callbacks.append(fn)
+            self._cbs.append(fn)
+
+    def _discard_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Detach a waiter (process interrupt); missing ``fn`` is a no-op.
+
+        Equality, not identity: bound methods (``process._resume``) are
+        re-created per access and compare equal without being the same
+        object.
+        """
+        if self._cb1 == fn:
+            self._cb1 = None
+        elif self._cbs:
+            try:
+                self._cbs.remove(fn)
+            except ValueError:  # pragma: no cover - defensive
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
@@ -174,6 +220,29 @@ class Timeout(Event):
         self.ok = True
         self._state = _TRIGGERED
         sim._enqueue(self, delay)
+
+    def reset(self, delay: Optional[float] = None, value: Any = None) -> "Timeout":
+        """Re-arm a *processed* timeout in place and return it.
+
+        Retry/backoff loops fire the same timer over and over (the RPC
+        retransmission ladder, drain polls); re-arming the object that
+        just fired is cheaper than allocating a fresh ``Timeout`` per
+        lap.  Only a processed timeout can be re-armed — a pending one
+        still sits on the event heap.
+        """
+        if self._state != _PROCESSED:
+            raise SimulationError("reset() on a timeout that has not fired yet")
+        if delay is None:
+            delay = self.delay
+        elif delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        self.delay = delay
+        self._value = value
+        self.ok = True
+        self._defused = False
+        self._state = _TRIGGERED
+        self.sim._enqueue(self, delay)
+        return self
 
 
 class Process(Event):
@@ -222,11 +291,8 @@ class Process(Event):
         # Detach from whatever we were waiting on.
         target = self._waiting_on
         if target is not None:
-            if target.callbacks is not None:
-                try:
-                    target.callbacks.remove(self._resume)
-                except ValueError:  # pragma: no cover - defensive
-                    pass
+            if target._state != _PROCESSED:
+                target._discard_callback(self._resume)
             if target._abandon is not None:
                 target._abandon(target)
         self._waiting_on = None
@@ -315,10 +381,25 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as one constituent event fires.
 
-    Its value is ``(index, value)`` of the first event to fire.
+    Its value is ``(index, value)`` of the first event to fire.  If the
+    same event object appears more than once, the index of its *first*
+    occurrence is reported (both slots fire at the same instant with the
+    same value, so the first occurrence is the meaningful one).
     """
 
-    __slots__ = ()
+    __slots__ = ("_index",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        events = tuple(events)
+        # id -> construction index, first occurrence wins.  Precomputed
+        # *before* callbacks can run (an already-fired constituent calls
+        # _check synchronously inside super().__init__), replacing the
+        # old O(n) ``tuple.index`` lookup per fire — which also reported
+        # a wrong (albeit first-occurrence-by-scan) slot under aliasing.
+        self._index: dict[int, int] = {}
+        for i, ev in enumerate(events):
+            self._index.setdefault(id(ev), i)
+        super().__init__(sim, events)
 
     def _check(self, event: Event) -> None:
         if self._state != _PENDING:
@@ -327,7 +408,38 @@ class AnyOf(_Condition):
             event.defuse()
             self.fail(event._value)
             return
-        self.succeed((self.events.index(event), event._value))
+        self.succeed((self._index[id(event)], event._value))
+
+
+@dataclass
+class EngineStats:
+    """Event-loop accounting: how much work a simulation actually did.
+
+    ``wall_seconds`` accumulates real (host) time spent inside
+    :meth:`Simulator.run` — the number the fluid-model speedup claims
+    are measured against, not asserted from.
+    """
+
+    events_scheduled: int = 0
+    events_processed: int = 0
+    peak_heap: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_processed": self.events_processed,
+            "peak_heap": self.peak_heap,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.events_scheduled} events scheduled, "
+            f"{self.events_processed} processed, "
+            f"peak heap {self.peak_heap}, "
+            f"{self.wall_seconds:.3f}s wall"
+        )
 
 
 class Simulator:
@@ -343,6 +455,7 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        self.stats = EngineStats()
         import numpy as _np
 
         self.rng = _np.random.default_rng(seed)
@@ -372,9 +485,14 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float, urgent: bool = False) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay!r}s in the past")
+        queue = self._queue
         heapq.heappush(
-            self._queue, (self.now + delay, 0 if urgent else 1, next(self._seq), event)
+            queue, (self.now + delay, 0 if urgent else 1, next(self._seq), event)
         )
+        stats = self.stats
+        stats.events_scheduled += 1
+        if len(queue) > stats.peak_heap:
+            stats.peak_heap = len(queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -386,6 +504,7 @@ class Simulator:
         if when < self.now:  # pragma: no cover - heap guarantees ordering
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = when
+        self.stats.events_processed += 1
         event._process_callbacks()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
@@ -408,19 +527,23 @@ class Simulator:
                     f"run(until={deadline}) is in the past (now={self.now})"
                 )
 
-        while self._queue:
-            if self._queue[0][0] > deadline:
+        wall_start = _time.perf_counter()
+        try:
+            while self._queue:
+                if self._queue[0][0] > deadline:
+                    self.now = deadline
+                    return None
+                self.step()
+                if stop_event is not None and stop_event.processed:
+                    if not stop_event.ok:
+                        raise stop_event._value
+                    return stop_event._value
+            if stop_event is not None:
+                raise SimulationError(
+                    "run() ran out of events before the awaited event fired"
+                )
+            if deadline != float("inf"):
                 self.now = deadline
-                return None
-            self.step()
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event._value
-                return stop_event._value
-        if stop_event is not None:
-            raise SimulationError(
-                "run() ran out of events before the awaited event fired"
-            )
-        if deadline != float("inf"):
-            self.now = deadline
-        return None
+            return None
+        finally:
+            self.stats.wall_seconds += _time.perf_counter() - wall_start

@@ -26,7 +26,16 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-__all__ = ["RpcRecord", "RpcTracer", "current_tracer", "nearest_rank"]
+from repro.sim.engine import EngineStats
+
+__all__ = [
+    "EngineStats",
+    "RpcRecord",
+    "RpcTracer",
+    "current_tracer",
+    "engine_summary",
+    "nearest_rank",
+]
 
 _ACTIVE: Optional["RpcTracer"] = None
 
@@ -49,6 +58,27 @@ def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
     if not 0.0 < q <= 1.0:
         raise ValueError(f"quantile must be in (0, 1], got {q}")
     return sorted_values[max(0, math.ceil(q * len(sorted_values)) - 1)]
+
+
+def engine_summary(stats: EngineStats) -> str:
+    """One-line human summary of an :class:`EngineStats` snapshot.
+
+    Pairs with :meth:`RpcTracer.summary` in benchmark reports: the RPC
+    table says where simulated time went, this line says what the
+    simulation *cost* to run — the number the fluid-model fast path is
+    meant to shrink.
+    """
+    rate = (
+        stats.events_processed / stats.wall_seconds
+        if stats.wall_seconds > 0
+        else float("inf")
+    )
+    return (
+        f"engine: {stats.events_scheduled} scheduled, "
+        f"{stats.events_processed} processed "
+        f"(peak heap {stats.peak_heap}) in {stats.wall_seconds:.3f}s wall "
+        f"({rate:,.0f} ev/s)"
+    )
 
 
 @dataclass(frozen=True)
