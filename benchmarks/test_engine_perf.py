@@ -116,3 +116,59 @@ def test_fluid_speedup_and_throughput_drift():
         f"fluid model only {speedup:.1f}x faster than chunked "
         f"(need >= {MIN_SPEEDUP}x)"
     )
+
+
+def test_observability_is_pay_for_what_you_use():
+    """The obs layer's contract: off means free, on means same physics.
+
+    * With no registry or collector installed (the default — every run
+      above), the instrumented code paths must not change the simulated
+      outcome; the baseline-drift gate in the previous test is the
+      wall-clock guard for that path.
+    * With metrics + tracing on, the simulation must compute the exact
+      same physics (makespan, bytes, throughput): observation reads the
+      run, it never perturbs it.  Wall overhead must stay bounded.
+    """
+    import time
+
+    from repro.obs import spans as obs_spans
+
+    assert obs_spans.ACTIVE is None  # default-off really is off
+
+    workload_kw = dict(op="write", block_size=4 * MB, shared_file=False, scale=0.05)
+
+    def run(**obs_kw):
+        t0 = time.perf_counter()
+        res = run_cell(
+            ARCH, IorWorkload(**workload_kw), 4, net_model="fluid", **obs_kw
+        )
+        return res, time.perf_counter() - t0
+
+    plain, wall_off = run()
+    observed, wall_on = run(metrics=True, trace=True)
+
+    # Identical simulated physics, to the bit.
+    assert observed.makespan == plain.makespan
+    assert observed.total_bytes == plain.total_bytes
+    # The only extra engine events allowed are the sampler's own ticks
+    # (one timeout per sample); spans and gauges schedule nothing.
+    extra_events = (
+        observed.engine["events_processed"] - plain.engine["events_processed"]
+    )
+    n_samples = len(observed.metrics["series"]["t"])
+    assert 0 <= extra_events <= n_samples + 2
+
+    # The observed run actually captured something.
+    assert observed.metrics["counters"]
+    assert observed.metrics["bottleneck"]
+    assert len(observed.metrics["series"]["t"]) >= 2
+    assert observed.trace.spans
+
+    # Collector is uninstalled again: later runs are back to zero-cost.
+    assert obs_spans.ACTIVE is None
+
+    ratio = wall_on / wall_off
+    print(f"\n  obs overhead: {wall_off:.3f}s off, {wall_on:.3f}s on ({ratio:.2f}x)")
+    # Generous bound (CI wall clocks are noisy); catches accidental
+    # per-event work sneaking into the hot path, not micro-costs.
+    assert ratio < 3.0, f"observability overhead {ratio:.1f}x (need < 3x)"

@@ -12,11 +12,17 @@ names the most-utilised resource class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.node import Node
 
-__all__ = ["NodeSnapshot", "UtilisationReport", "snapshot", "utilisation"]
+__all__ = [
+    "NodeSnapshot",
+    "UtilisationReport",
+    "attribute",
+    "snapshot",
+    "utilisation",
+]
 
 
 @dataclass
@@ -67,6 +73,42 @@ class UtilisationReport:
             f"{self.node}: cpu {self.cpu:5.1%}  tx {self.nic_tx:5.1%}  "
             f"rx {self.nic_rx:5.1%}  disk {self.disk:5.1%}  -> {self.dominant}"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-shaped form for result reports."""
+        return {
+            "node": self.node,
+            "cpu": self.cpu,
+            "nic_tx": self.nic_tx,
+            "nic_rx": self.nic_rx,
+            "disk": self.disk,
+            "window": self.window,
+            "dominant": self.dominant,
+        }
+
+
+def attribute(reports: list[UtilisationReport]) -> dict:
+    """Name the run's overall bottleneck from per-node reports.
+
+    The most-utilised (node, resource-class) pair across all reports —
+    the component the makespan is attributed to.  Empty input yields an
+    empty verdict rather than an error (diskless/unmonitored runs).
+    """
+    best: dict = {}
+    for r in reports:
+        for component, value in (
+            ("cpu", r.cpu),
+            ("nic_tx", r.nic_tx),
+            ("nic_rx", r.nic_rx),
+            ("disk", r.disk),
+        ):
+            if not best or value > best["utilisation"]:
+                best = {
+                    "node": r.node,
+                    "component": component,
+                    "utilisation": value,
+                }
+    return best
 
 
 def utilisation(node: Node, before: NodeSnapshot, after: NodeSnapshot) -> UtilisationReport:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from repro.bench.experiments import ExperimentResult
 from repro.bench.paper_data import PAPER
 
-__all__ = ["ShapeCheck", "format_table", "shape_checks"]
+__all__ = ["ShapeCheck", "format_metrics", "format_table", "shape_checks"]
 
 
 @dataclass
@@ -49,6 +49,51 @@ def format_table(res: ExperimentResult) -> str:
             cell += f" ({ref:6.1f})" if ref is not None else "       "
             cells.append(f"{cell:>{colw}}")
         lines.append(f"{n:>7} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_metrics(result) -> str:
+    """ASCII rendering of a ``RunResult``'s observability section.
+
+    Utilisation table with the bottleneck verdict, then the counters
+    that answer "where did the bytes (and the failures) go" — cache
+    behaviour, writeback errors, RPC retransmissions.  Counters that
+    stayed at zero are suppressed except the failure-path ones, whose
+    zeroes are the interesting reassurance.
+    """
+    m = result.metrics
+    if not m:
+        return "(no metrics captured — run with metrics=True)"
+    lines = [
+        f"metrics: {result.arch} / {result.workload} @ {result.n_clients} clients",
+    ]
+    lines.append("  utilisation over the measured phase:")
+    for u in m["utilisation"]:
+        lines.append(
+            f"    {u['node']:>8}: cpu {u['cpu']:5.1%}  tx {u['nic_tx']:5.1%}  "
+            f"rx {u['nic_rx']:5.1%}  disk {u['disk']:5.1%}  -> {u['dominant']}"
+        )
+    bn = m.get("bottleneck") or {}
+    if bn:
+        lines.append(
+            f"  bottleneck: {bn['component']} on {bn['node']} "
+            f"({bn['utilisation']:.1%} utilised)"
+        )
+    always = ("writeback_errors", "client_timeouts", "retransmissions", "errors")
+    interesting = []
+    for name, value in m["counters"].items():
+        if isinstance(value, dict):  # histogram summary
+            if value.get("count"):
+                interesting.append((name, value))
+        elif value or name.endswith(always):
+            interesting.append((name, value))
+    lines.append("  counters:")
+    for name, value in interesting:
+        lines.append(f"    {name} = {value}")
+    n_samples = len(m["series"]["t"])
+    lines.append(
+        f"  sampler: {n_samples} samples at {m['series']['interval']}s intervals"
+    )
     return "\n".join(lines)
 
 

@@ -33,6 +33,15 @@ class RunResult:
     #: Per-server-node utilisation over the measured window (populated
     #: when ``run_cell(measure_utilisation=True)``).
     utilisation: list = field(default_factory=list)
+    #: Observability section (populated when ``run_cell(metrics=True)``):
+    #: final counter/gauge values, the sampler's time series, per-node
+    #: utilisation dicts over the measured phase, and the bottleneck
+    #: verdict — the metrics/utilization section of the JSON report.
+    metrics: dict = field(default_factory=dict)
+    #: Span trace of the measured phase (populated when
+    #: ``run_cell(trace=True)``); export with
+    #: ``result.trace.write_chrome_trace(path)``.
+    trace: object | None = None
     #: Engine cost telemetry for the whole cell (prepare + settle +
     #: measured phase): ``EngineStats.as_dict()`` plus the network
     #: model and its flow counters — the numbers the fluid fast path
@@ -74,8 +83,20 @@ def run_cell(
     keep_deployment: bool = False,
     measure_utilisation: bool = False,
     net_model: str = "chunked",
+    metrics: bool = False,
+    sample_interval: float = 0.25,
+    trace: bool = False,
 ) -> RunResult:
-    """Build the architecture, run the workload on ``n_clients``."""
+    """Build the architecture, run the workload on ``n_clients``.
+
+    ``metrics=True`` attaches a :class:`~repro.obs.MetricsRegistry` to
+    every component, samples it every ``sample_interval`` sim seconds
+    over the measured phase, and fills ``RunResult.metrics`` with
+    counters, time series, per-node utilisation, and the bottleneck
+    verdict.  ``trace=True`` records spans over the measured phase into
+    ``RunResult.trace``.  Both default off and add nothing to the run
+    when off.
+    """
     dep = make_deployment(
         arch,
         n_clients=n_clients,
@@ -123,21 +144,45 @@ def run_cell(
     sim.run(until=mount_proc)
 
     monitored = tb.server_nodes + [tb.extra_node] if measure_utilisation else []
+    if metrics:
+        # Metrics runs always attribute utilisation, over every node.
+        monitored = tb.server_nodes + [tb.extra_node] + tb.client_nodes[:n_clients]
     before = None
     if monitored:
         from repro.bench.bottleneck import snapshot, utilisation
 
         before = [snapshot(node) for node in monitored]
 
+    registry = sampler = None
+    if metrics:
+        from repro.obs import MetricsRegistry, Sampler, observe_deployment
+
+        registry = MetricsRegistry()
+        observe_deployment(registry, dep, clients=clients)
+        sampler = Sampler(sim, registry, interval=sample_interval).start()
+
+    collector = None
+    if trace:
+        from repro.obs import SpanCollector
+
+        collector = SpanCollector(sim)
+        collector.__enter__()
+
     t0 = sim.now
-    procs = [
-        sim.process(
-            workload.client_proc(sim, c, i, n_clients), name=f"client{i}"
-        )
-        for i, c in enumerate(clients)
-    ]
-    done = sim.all_of(procs)
-    sim.run(until=done)
+    try:
+        procs = [
+            sim.process(
+                workload.client_proc(sim, c, i, n_clients), name=f"client{i}"
+            )
+            for i, c in enumerate(clients)
+        ]
+        done = sim.all_of(procs)
+        sim.run(until=done)
+    finally:
+        if collector is not None:
+            collector.__exit__(None, None, None)
+        if sampler is not None:
+            sampler.stop()
     makespan = sim.now - t0
     results = [p.value for p in procs]
 
@@ -147,6 +192,16 @@ def run_cell(
         reports = [
             utilisation(node, b, a) for node, b, a in zip(monitored, before, after)
         ]
+    metrics_section: dict = {}
+    if metrics:
+        from repro.bench.bottleneck import attribute
+
+        metrics_section = {
+            "counters": registry.collect(),
+            "series": sampler.as_dict(),
+            "utilisation": [r.as_dict() for r in reports],
+            "bottleneck": attribute(reports),
+        }
     engine = dict(sim.stats.as_dict())
     engine.update(
         net_model=net_model,
@@ -163,5 +218,7 @@ def run_cell(
         results=results,
         deployment=dep if keep_deployment else None,
         utilisation=reports,
+        metrics=metrics_section,
+        trace=collector,
         engine=engine,
     )

@@ -6,6 +6,10 @@ Subcommands::
     python -m repro run fig7a --scale 0.1        # regenerate a figure panel
     python -m repro cell direct-pnfs ior-write \\
         --clients 4 --scale 0.2                  # one (arch, workload) cell
+    python -m repro metrics direct-pnfs ior-write \\
+        --clients 4 --json out.json              # cell + metrics/utilisation
+    python -m repro trace direct-pnfs ior-write \\
+        --out run.trace.json                     # cell + Perfetto trace
     python -m repro quickstart                   # the quickstart demo
 """
 
@@ -94,6 +98,65 @@ def _cmd_cell(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    """Run one cell with the metrics registry attached and report it."""
+    import json
+
+    from repro.bench.report import format_metrics
+    from repro.bench.runner import run_cell
+
+    workload = _WORKLOADS[args.workload](args.scale)
+    result = run_cell(
+        args.arch,
+        workload,
+        n_clients=args.clients,
+        metrics=True,
+        sample_interval=args.interval,
+    )
+    print(
+        f"{args.arch} / {args.workload} @ {args.clients} clients "
+        f"(scale {args.scale}): {result.makespan:.3f} s makespan, "
+        f"{result.aggregate_mbps:.1f} MB/s"
+    )
+    print(format_metrics(result))
+    if args.json:
+        report = {
+            "arch": result.arch,
+            "workload": result.workload,
+            "n_clients": result.n_clients,
+            "makespan": result.makespan,
+            "total_bytes": result.total_bytes,
+            "aggregate_mbps": result.aggregate_mbps,
+            "engine": result.engine,
+            "metrics": result.metrics,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one cell under a span collector and export a Chrome trace."""
+    from repro.bench.runner import run_cell
+
+    workload = _WORKLOADS[args.workload](args.scale)
+    result = run_cell(
+        args.arch, workload, n_clients=args.clients, trace=True
+    )
+    result.trace.write_chrome_trace(args.out)
+    cats = {c: len(s) for c, s in sorted(result.trace.by_category().items())}
+    print(
+        f"{args.arch} / {args.workload} @ {args.clients} clients "
+        f"(scale {args.scale}): {result.makespan:.3f} s makespan"
+    )
+    print(f"  {len(result.trace.spans)} spans: " + ", ".join(
+        f"{n} {c}" for c, n in cats.items()
+    ))
+    print(f"wrote {args.out} (open at https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_quickstart(_args) -> int:
     import pathlib
     import runpy
@@ -125,6 +188,29 @@ def main(argv: list[str] | None = None) -> int:
     p_cell.add_argument("--clients", type=int, default=4)
     p_cell.add_argument("--scale", type=float, default=0.1)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="run one cell with the metrics registry attached"
+    )
+    p_metrics.add_argument("arch", help="architecture (see `repro list`)")
+    p_metrics.add_argument("workload", choices=sorted(_WORKLOADS))
+    p_metrics.add_argument("--clients", type=int, default=4)
+    p_metrics.add_argument("--scale", type=float, default=0.1)
+    p_metrics.add_argument(
+        "--interval", type=float, default=0.25, help="sampler interval (sim s)"
+    )
+    p_metrics.add_argument("--json", help="also write the full report as JSON")
+
+    p_trace = sub.add_parser(
+        "trace", help="run one cell and export a Chrome/Perfetto trace"
+    )
+    p_trace.add_argument("arch", help="architecture (see `repro list`)")
+    p_trace.add_argument("workload", choices=sorted(_WORKLOADS))
+    p_trace.add_argument("--clients", type=int, default=4)
+    p_trace.add_argument("--scale", type=float, default=0.1)
+    p_trace.add_argument(
+        "--out", default="repro.trace.json", help="trace file path"
+    )
+
     sub.add_parser("quickstart", help="run the quickstart demo")
 
     args = parser.parse_args(argv)
@@ -132,6 +218,8 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "cell": _cmd_cell,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
         "quickstart": _cmd_quickstart,
     }[args.command]
     return handler(args)

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.data_server import build_data_server
 from repro.core.system import DirectPnfsSystem
 from repro.cluster.testbed import (
     GATEWAY_READ_PER_BYTE_3TIER,

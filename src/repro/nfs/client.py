@@ -29,9 +29,10 @@ from repro.nfs.config import NfsConfig
 from repro.nfs.intervals import IntervalSet
 from repro.nfs.server import Nfs4Server
 from repro.nfs.sessions import Session
+from repro.obs import spans as obs_spans
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
-from repro.vfs.api import FileSystemClient, OpenFile, Payload
+from repro.vfs.api import FileSystemClient, FsError, OpenFile, Payload
 from repro.vfs.filedata import FileData
 
 __all__ = ["Nfs4Client"]
@@ -73,6 +74,22 @@ class Nfs4Client(FileSystemClient):
         self._delegations: dict[str, dict] = {}
         self.bytes_read = 0
         self.bytes_written = 0
+        # -- page-cache observability (plain ints: free when unobserved) --
+        #: Bytes served from already-valid pages vs fetched on demand.
+        self.cache_hit_bytes = 0
+        self.cache_miss_bytes = 0
+        #: Bytes prefetched vs later consumed by a read; the difference
+        #: is readahead waste (fetched but never read).
+        self.readahead_issued_bytes = 0
+        self.readahead_used_bytes = 0
+        #: Asynchronous write-backs that failed (the error is latched on
+        #: the open file and surfaced at the next fsync/close).
+        self.writeback_errors = 0
+
+    @property
+    def readahead_wasted_bytes(self) -> int:
+        """Prefetched bytes no read has (yet) consumed."""
+        return self.readahead_issued_bytes - self.readahead_used_bytes
 
     # -- RPC plumbing ------------------------------------------------------
     def _session_for(self, server: Nfs4Server) -> Session:
@@ -159,6 +176,8 @@ class Nfs4Client(FileSystemClient):
             flushing=IntervalSet(),
             inflight=[],
             ra=[],
+            ra_issued=IntervalSet(),
+            wb_error=None,
             commit_needed=False,
             last_read_end=None,
             open_mtime=attrs.mtime if attrs is not None else None,
@@ -275,9 +294,24 @@ class Nfs4Client(FileSystemClient):
                 blk_end = min(pos + rsize, e)
                 proc = self.sim.process(self._fetch_block(f, pos, blk_end))
                 state["ra"].append((pos, blk_end, proc))
+                state["ra_issued"].add(pos, blk_end)
+                self.readahead_issued_bytes += blk_end - pos
                 pos = blk_end
 
     def read(self, f: OpenFile, offset: int, nbytes: int):
+        col = obs_spans.ACTIVE
+        if col is None:
+            return (yield from self._read_impl(f, offset, nbytes))
+        span = col.begin(
+            "read", "client-op", self.node.name,
+            path=f.path, offset=offset, nbytes=nbytes,
+        )
+        try:
+            return (yield from self._read_impl(f, offset, nbytes))
+        finally:
+            col.end(span)
+
+    def _read_impl(self, f: OpenFile, offset: int, nbytes: int):
         state = f.state
         end = min(offset + nbytes, state["size"])
         if end <= offset:
@@ -300,7 +334,19 @@ class Nfs4Client(FileSystemClient):
         if end <= offset:
             return Payload(b"")
 
+        # Readahead accounting: bytes of this range a prefetch covered
+        # count as used (each issued byte is counted used at most once).
+        ra_used = sum(e - s for s, e in state["ra_issued"].runs_in(offset, end))
+        if ra_used:
+            self.readahead_used_bytes += ra_used
+            state["ra_issued"].remove(offset, end)
+
         gaps = state["valid"].gaps(offset, end)
+        # Hit/miss accounting: a miss is a byte fetched synchronously
+        # on demand; everything else (cached or prefetched) is a hit.
+        miss = sum(e - s for s, e in gaps)
+        self.cache_miss_bytes += miss
+        self.cache_hit_bytes += (end - offset) - miss
         if gaps:
             yield from self._fetch(f, gaps)
             end = min(end, state["size"])
@@ -318,6 +364,20 @@ class Nfs4Client(FileSystemClient):
         data = f.state["cache"].read(start, end - start)
         try:
             yield from self._io_write(f, start, data)
+        except (FsError, rpc.RpcTimeout) as exc:
+            # Failed write-back: the pages are still dirty.  Re-mark the
+            # range so the next fsync retries it (flushing the cache's
+            # *current* contents, which may include newer overwrites),
+            # latch the first error errseq-style on the open file, and
+            # swallow the exception — an unawaited failing process would
+            # otherwise crash the whole simulation.  Before this path
+            # existed the range had already left ``dirty`` and the bytes
+            # were silently lost while fsync reported success.
+            f.state["dirty"].add(start, end)
+            if f.state["wb_error"] is None:
+                f.state["wb_error"] = exc
+            self.writeback_errors += 1
+            return
         finally:
             f.state["flushing"].remove(start, end)
         f.state["commit_needed"] = True
@@ -341,6 +401,19 @@ class Nfs4Client(FileSystemClient):
                 pos += wsize
 
     def write(self, f: OpenFile, offset: int, payload: Payload):
+        col = obs_spans.ACTIVE
+        if col is None:
+            return (yield from self._write_impl(f, offset, payload))
+        span = col.begin(
+            "write", "client-op", self.node.name,
+            path=f.path, offset=offset, nbytes=payload.nbytes,
+        )
+        try:
+            return (yield from self._write_impl(f, offset, payload))
+        finally:
+            col.end(span)
+
+    def _write_impl(self, f: OpenFile, offset: int, payload: Payload):
         state = f.state
         yield from self.node.compute(self.cfg.client_copy_per_byte * payload.nbytes)
         state["cache"].write(offset, payload)
@@ -353,6 +426,16 @@ class Nfs4Client(FileSystemClient):
         return payload.nbytes
 
     def fsync(self, f: OpenFile):
+        col = obs_spans.ACTIVE
+        if col is None:
+            return (yield from self._fsync_impl(f))
+        span = col.begin("fsync", "client-op", self.node.name, path=f.path)
+        try:
+            return (yield from self._fsync_impl(f))
+        finally:
+            col.end(span)
+
+    def _fsync_impl(self, f: OpenFile):
         state = f.state
         # Flush every remaining dirty run in ≤ wsize slices.
         for s, e in list(state["dirty"]):
@@ -364,6 +447,14 @@ class Nfs4Client(FileSystemClient):
         while state["inflight"]:
             procs, state["inflight"] = state["inflight"], []
             yield self.sim.all_of(procs)
+        err = state["wb_error"]
+        if err is not None:
+            # Surface the latched write-back failure (errseq semantics:
+            # reported once, then cleared).  The failed ranges are back
+            # in ``dirty``, so a later fsync — after the server
+            # recovers — re-flushes them; nothing is silently dropped.
+            state["wb_error"] = None
+            raise err
         if state["commit_needed"]:
             yield from self._io_commit(f)
             state["commit_needed"] = False

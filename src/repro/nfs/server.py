@@ -23,14 +23,12 @@ semantics.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro import rpc
 from repro.nfs.config import NfsConfig
 from repro.rpc import RpcServer
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
-from repro.vfs.api import FileSystemClient, OpenFile, Payload
+from repro.vfs.api import FileSystemClient, OpenFile
 
 __all__ = ["Nfs4Server"]
 

@@ -1,0 +1,46 @@
+"""Observability: metrics registry, sim-time sampler, span tracing.
+
+The diagnostic substrate behind the paper's per-component arguments
+(§6.2.1 attributes each regime to disks, NICs, or CPUs):
+
+* :class:`MetricsRegistry` + :class:`Sampler` — named counters,
+  gauges, and histograms over every component, sampled into time
+  series (:mod:`repro.obs.metrics`, wired by :mod:`repro.obs.attach`);
+* :class:`SpanCollector` — span tracing from client op through RPC
+  attempt, server handler, and disk request, exported as Chrome
+  trace-event JSON for Perfetto (:mod:`repro.obs.spans`);
+* ``repro metrics`` / ``repro trace`` CLI verbs and the
+  ``run_cell(metrics=True, trace=True)`` harness hooks consume both.
+
+Everything is pay-for-what-you-use: without a collector installed and
+a registry attached, the instrumented code paths cost one attribute
+load (spans) or a plain integer increment (counters).
+"""
+
+from repro.obs.attach import (
+    observe_client,
+    observe_deployment,
+    observe_network,
+    observe_node,
+    observe_rpc_server,
+    observe_storage_daemon,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Sampler
+from repro.obs.spans import Span, SpanCollector, current_collector
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sampler",
+    "Span",
+    "SpanCollector",
+    "current_collector",
+    "observe_client",
+    "observe_deployment",
+    "observe_network",
+    "observe_node",
+    "observe_rpc_server",
+    "observe_storage_daemon",
+]

@@ -1,0 +1,247 @@
+"""Metrics registry: named counters, gauges, histograms + a sampler.
+
+Components do not push into the registry on their hot paths — they keep
+the plain attribute counters they already have (``nic.tx_bytes``,
+``disk.busy_time``, ``client.writeback_errors``, ...) and an
+observation pass *registers* them afterwards:
+
+* :meth:`MetricsRegistry.counter` — a monotonic count the owner
+  increments directly (cheap ``+= 1``, registry or not);
+* :meth:`MetricsRegistry.gauge` — a zero-argument callable sampled on
+  demand, the bridge to existing attribute counters;
+* :meth:`MetricsRegistry.histogram` — a distribution with cached-sort
+  nearest-rank percentiles (backed by
+  :class:`repro.sim.stats.LatencyRecorder`).
+
+:class:`Sampler` walks the registry at a fixed sim-time interval and
+produces per-metric time series — the raw material for "disk queue
+depth over the run" style plots.  It drives itself with a re-armed
+:class:`~repro.sim.engine.Timeout` and must be stopped explicitly
+(or via its context-manager form), so a drained event queue still ends
+the run.
+
+See :mod:`repro.obs.attach` for the functions that wire the simulator's
+components into a registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import LatencyRecorder
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Sampler"]
+
+
+class Counter:
+    """Named monotonic counter owned by the registry."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Named instantaneous reading, backed by a callable."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]):
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> float:
+        return self.fn()
+
+
+class Histogram:
+    """Named distribution with count/mean/percentile summaries."""
+
+    __slots__ = ("name", "_rec")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._rec = LatencyRecorder(name)
+
+    def observe(self, value: float) -> None:
+        self._rec.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._rec.count
+
+    def percentile(self, p: float) -> float:
+        return self._rec.percentile(p)
+
+    def summary(self) -> dict:
+        if self._rec.count == 0:
+            return {"count": 0}
+        return {
+            "count": self._rec.count,
+            "mean": self._rec.mean,
+            "p50": self._rec.percentile(50),
+            "p95": self._rec.percentile(95),
+            "max": self._rec.percentile(100),
+        }
+
+
+class MetricsRegistry:
+    """Flat namespace of metrics, collected into one dict on demand.
+
+    Metric names are dotted paths (``s0.disk0.busy_seconds``); a name
+    belongs to exactly one kind.  ``counter`` is get-or-create so two
+    components may share one count; ``gauge`` registration is
+    first-wins-raises to catch accidental double observation.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_fresh(self, name: str, kind: dict) -> None:
+        for space in (self._counters, self._gauges, self._histograms):
+            if space is not kind and name in space:
+                raise ValueError(f"metric {name!r} already registered with another kind")
+
+    def counter(self, name: str) -> Counter:
+        self._check_fresh(name, self._counters)
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> Gauge:
+        self._check_fresh(name, self._gauges)
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        g = self._gauges[name] = Gauge(name, fn)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        self._check_fresh(name, self._histograms)
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def names(self) -> list[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def collect(self) -> dict:
+        """Every metric's current value, flat, sorted by name.
+
+        Counters and gauges collapse to numbers; histograms to their
+        summary dicts.
+        """
+        out: dict = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.read()
+        for name, h in self._histograms.items():
+            out[name] = h.summary()
+        return dict(sorted(out.items()))
+
+    def sample_numeric(self) -> dict[str, float]:
+        """Counters and gauges only — what the :class:`Sampler` records."""
+        out: dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.read()
+        return out
+
+
+class Sampler:
+    """Sim-time periodic snapshot of a registry's numeric metrics.
+
+    Between :meth:`start` and :meth:`stop` the sampler records
+    ``(t, {name: value})`` every ``interval`` sim seconds.  The tick is
+    a re-armed Timeout with a callback — no Process — so an idle
+    simulation is two heap entries away from draining, and stopping
+    cancels cleanly.
+    """
+
+    def __init__(self, sim: Simulator, registry: MetricsRegistry, interval: float = 0.25):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.samples: list[tuple[float, dict[str, float]]] = []
+        self._tick = None
+        self._started = False
+        self._running = False
+
+    def start(self) -> "Sampler":
+        if self._started:
+            raise RuntimeError("a Sampler is single-use; make a new one")
+        self._started = True
+        self._running = True
+        self._take()  # t0 sample, then one every interval
+        self._arm()
+        return self
+
+    def stop(self) -> None:
+        """Take a final sample and disarm the tick."""
+        if not self._running:
+            return
+        self._running = False
+        if not self.samples or self.samples[-1][0] != self.sim.now:
+            self._take()
+        if self._tick is not None:
+            # A tick still pending on the heap fires as a no-op; one
+            # already processed stays processed.  Either way, detach.
+            self._tick._discard_callback(self._on_tick)
+
+    def __enter__(self) -> "Sampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _take(self) -> None:
+        self.samples.append((self.sim.now, self.registry.sample_numeric()))
+
+    def _on_tick(self, _ev) -> None:
+        if not self._running:
+            return
+        self._take()
+        self._arm()
+
+    def _arm(self) -> None:
+        # Reuse one Timeout across ticks (the runner/RPC re-arm idiom):
+        # _on_tick runs after the tick is processed, so reset() is legal.
+        if self._tick is None:
+            self._tick = self.sim.timeout(self.interval)
+        else:
+            self._tick = self._tick.reset(self.interval)
+        self._tick.add_callback(self._on_tick)
+
+    # -- analysis ----------------------------------------------------------
+    def series(self, name: str) -> list[tuple[float, float]]:
+        """The time series of one metric: ``[(t, value), ...]``."""
+        return [(t, vals[name]) for t, vals in self.samples if name in vals]
+
+    def as_dict(self) -> dict:
+        """JSON-shaped form: sample times plus one series per metric."""
+        times = [t for t, _vals in self.samples]
+        names = sorted({n for _t, vals in self.samples for n in vals})
+        return {
+            "interval": self.interval,
+            "t": times,
+            "series": {
+                n: [vals.get(n) for _t, vals in self.samples] for n in names
+            },
+        }

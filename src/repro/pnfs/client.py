@@ -27,7 +27,7 @@ from repro.nfs.client import Nfs4Client
 from repro.nfs.config import NfsConfig
 from repro.nfs.server import Nfs4Server
 from repro.pnfs.server import PnfsMetadataServer
-from repro.rpc import RpcServer, RpcTimeout
+from repro.rpc import RpcTimeout
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
 from repro.vfs.api import OpenFile, Payload

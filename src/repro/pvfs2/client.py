@@ -23,8 +23,6 @@ storage node (DESIGN.md §4.1).
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro import rpc
 from repro.pvfs2.config import Pvfs2Config
 from repro.pvfs2.distribution import Distribution, distribution_from_description
@@ -32,11 +30,9 @@ from repro.sim.engine import Simulator
 from repro.sim.node import Node
 from repro.sim.resources import Resource
 from repro.vfs.api import (
-    FileAttributes,
     FileSystemClient,
     FsError,
     IsDirectory,
-    NoEntry,
     OpenFile,
     Payload,
 )

@@ -23,7 +23,7 @@ from repro.pvfs2.config import Pvfs2Config
 from repro.pvfs2.distribution import Distribution, SimpleStripe
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
-from repro.vfs.api import FileAttributes, IsDirectory, NoEntry
+from repro.vfs.api import IsDirectory, NoEntry
 from repro.vfs.namespace import Namespace
 
 __all__ = ["FileMeta", "MetadataServer"]

@@ -25,6 +25,7 @@ request" (§5).
 from __future__ import annotations
 
 from repro.nfs.intervals import IntervalSet
+from repro.obs import spans as obs_spans
 from repro.pvfs2.config import Pvfs2Config
 from repro.rpc import RpcServer
 from repro.sim.engine import Event, Simulator
@@ -286,9 +287,22 @@ class StorageDaemon:
             if not ivs:
                 del dirty[handle]
             sweep_pos = (handle, start + nbytes)
-            yield from self._disk_for(handle).io(
-                handle * BSTREAM_STRIDE + start, nbytes, write=True
+            col = obs_spans.ACTIVE
+            span = (
+                col.begin(
+                    "flush", "storage", self.name,
+                    handle=handle, offset=start, nbytes=nbytes,
+                )
+                if col is not None
+                else None
             )
+            try:
+                yield from self._disk_for(handle).io(
+                    handle * BSTREAM_STRIDE + start, nbytes, write=True
+                )
+            finally:
+                if span is not None:
+                    col.end(span)
             self._persisted.setdefault(handle, IntervalSet()).add(
                 start, start + nbytes
             )

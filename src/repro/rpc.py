@@ -48,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs import spans as obs_spans
 from repro.sim.engine import Event, Interrupt, SimulationError, Simulator
 from repro.sim.node import Node
 from repro.sim.resources import Resource
@@ -175,6 +176,12 @@ class RpcServer:
         #: Replies served from a session reply cache without re-running
         #: the handler (exactly-once retransmission hits).
         self.calls_replayed = 0
+        #: Retransmissions aimed at this service (counted client-side
+        #: when a retry timer fires, so lost requests are included).
+        self.retransmissions = 0
+        #: Calls that exhausted their retry budget against this service
+        #: and raised :class:`RpcTimeout` at the client.
+        self.client_timeouts = 0
         #: Service liveness.  A down server silently swallows requests
         #: and replies — the fail-stop model; messages in flight to it
         #: are lost, and only a client-side timer notices.
@@ -216,6 +223,49 @@ def _lost(sim: Simulator):
 
 
 def _attempt(
+    client_node: Node,
+    server: RpcServer,
+    proc: str,
+    handler: Callable,
+    args: object,
+    payload: Optional[Payload],
+    args_bytes: int,
+    session,
+    seq: Optional[int],
+    retries: int,
+):
+    """One request/reply exchange, span-traced when a collector is on.
+
+    The span covers the whole attempt — marshalling, wire, queueing,
+    handler, reply — and is closed by the ``finally`` even when a retry
+    timer interrupts the attempt mid-flight, so abandoned attempts show
+    up in the trace as truncated bars rather than vanishing.
+    """
+    col = obs_spans.ACTIVE
+    if col is None:
+        return (
+            yield from _attempt_body(
+                client_node, server, proc, handler, args, payload,
+                args_bytes, session, seq, retries,
+            )
+        )
+    span = col.begin(
+        f"rpc:{proc}", "rpc", client_node.name,
+        server=server.name, attempt=retries,
+    )
+    ok = False
+    try:
+        result = yield from _attempt_body(
+            client_node, server, proc, handler, args, payload,
+            args_bytes, session, seq, retries,
+        )
+        ok = True
+        return result
+    finally:
+        col.end(span, ok=ok)
+
+
+def _attempt_body(
     client_node: Node,
     server: RpcServer,
     proc: str,
@@ -274,6 +324,12 @@ def _attempt(
             result, reply_payload, error = cached
             server.calls_replayed += 1
         else:
+            col = obs_spans.ACTIVE
+            hspan = (
+                col.begin(f"handle:{proc}", "server", server.node.name)
+                if col is not None
+                else None
+            )
             try:
                 result, reply_payload = yield from handler(args, payload)
             except FsError as exc:
@@ -287,6 +343,9 @@ def _attempt(
                     f"{server.name}.{proc}: unhandled handler exception: {exc!r}"
                 )
                 error.__cause__ = exc
+            finally:
+                if hspan is not None:
+                    col.end(hspan, ok=error is None)
             if session is not None and seq is not None:
                 session.cache_reply(seq, result, reply_payload, error)
         # 3. Reply: server copy-out, wire, and client copy-in all
@@ -421,6 +480,7 @@ def call(
             attempt.interrupt("rpc timeout")
             attempt_no += 1
             if attempt_no > policy.max_retries:
+                server.client_timeouts += 1
                 tracer = current_tracer()
                 if tracer is not None:
                     from repro.tracing import RpcRecord
@@ -445,6 +505,7 @@ def call(
                     proc=proc,
                     attempts=attempt_no,
                 )
+            server.retransmissions += 1
     finally:
         if session is not None and seq is not None:
             session.retire(seq)

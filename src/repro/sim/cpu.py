@@ -57,6 +57,11 @@ class Cpu:
             self.cores.release()
 
     @property
+    def queue_len(self) -> int:
+        """Work items waiting for a core (instantaneous queue depth)."""
+        return self.cores.queue_len
+
+    @property
     def utilisation_hint(self) -> float:
         """Fraction of one core-lifetime spent busy (coarse diagnostic)."""
         if self.sim.now == 0:

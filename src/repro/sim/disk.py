@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import spans as obs_spans
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 
@@ -126,6 +127,19 @@ class Disk:
 
     def io(self, offset: int, nbytes: int, write: bool):
         """Process generator performing one request against the media."""
+        col = obs_spans.ACTIVE
+        if col is None:
+            return (yield from self._io_impl(offset, nbytes, write))
+        span = col.begin(
+            "disk:write" if write else "disk:read", "disk", self.name,
+            offset=offset, nbytes=nbytes,
+        )
+        try:
+            return (yield from self._io_impl(offset, nbytes, write))
+        finally:
+            col.end(span)
+
+    def _io_impl(self, offset: int, nbytes: int, write: bool):
         if offset < 0 or nbytes < 0:
             raise ValueError("offset/nbytes must be >= 0")
         self._check_failed()

@@ -125,6 +125,16 @@ class Nic:
         self.flows_stranded = 0
         self._network = network
 
+    def counters(self) -> dict:
+        """Snapshot of this NIC's cumulative counters (observability)."""
+        return {
+            "tx_bytes": self.tx_bytes,
+            "rx_bytes": self.rx_bytes,
+            "loopback_bytes": self.loopback_bytes,
+            "flows_dropped": self.flows_dropped,
+            "flows_stranded": self.flows_stranded,
+        }
+
     @property
     def down(self) -> bool:
         return self._down

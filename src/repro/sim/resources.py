@@ -58,6 +58,10 @@ class Resource:
         self.name = name
         self.policy = policy
         self._in_use = 0
+        #: Peak units simultaneously held over the resource's lifetime
+        #: (occupancy high-water mark; tracked at grant time, same as
+        #: the session slot table's ``highest_used``).
+        self.high_water = 0
         self._waiters: deque[tuple[Event, int]] = deque()
 
     @property
@@ -95,6 +99,8 @@ class Resource:
         ev._abandon = self._abandon_acquire
         if not self._waiters and self._in_use + units <= self.capacity:
             self._in_use += units
+            if self._in_use > self.high_water:
+                self.high_water = self._in_use
             ev.succeed(units)
         else:
             self._waiters.append((ev, units))
@@ -132,6 +138,8 @@ class Resource:
                 ev, want = self._waiters[idx]
                 del self._waiters[idx]
                 self._in_use += want
+                if self._in_use > self.high_water:
+                    self.high_water = self._in_use
                 ev.succeed(want)
             return
         while self._waiters:
@@ -140,6 +148,8 @@ class Resource:
                 break
             self._waiters.popleft()
             self._in_use += want
+            if self._in_use > self.high_water:
+                self.high_water = self._in_use
             ev.succeed(want)
 
 

@@ -9,12 +9,32 @@ transactions per second.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
-__all__ = ["Counter", "ThroughputMeter", "LatencyRecorder", "MB"]
+__all__ = ["Counter", "ThroughputMeter", "LatencyRecorder", "MB", "nearest_rank"]
 
 #: One decimal megabyte — the unit of every figure in the paper.
 MB = 1e6
+
+
+def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """The q-quantile of ``sorted_values`` by the nearest-rank method.
+
+    Nearest rank: the smallest value with at least ``ceil(q * n)``
+    values at or below it — index ``ceil(q * n) - 1``.  Correct for
+    small samples (q=0.95 of n=20 is the 19th value, not the max; of
+    n=1 it is the only value).
+
+    The one canonical quantile helper in the repository:
+    :mod:`repro.tracing` and :class:`LatencyRecorder` both delegate
+    here (they used to carry diverging copies).
+    """
+    if not sorted_values:
+        raise ValueError("no values")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    return sorted_values[max(0, math.ceil(q * len(sorted_values)) - 1)]
 
 
 @dataclass
@@ -50,23 +70,41 @@ class ThroughputMeter:
         self.last_at = max(self.last_at, now)
 
     def aggregate_mbps(self, start: float, end: float) -> float:
-        """Total MB moved divided by the ``end - start`` makespan."""
-        if end <= start:
-            raise ValueError("end must exceed start")
+        """Total MB moved divided by the ``end - start`` makespan.
+
+        An empty meter reports 0.0 regardless of the window.  A
+        zero-width window with data in it means every byte completed in
+        one sim instant — the rate is unbounded, reported as ``inf``
+        rather than blowing up the report path.  Only a *negative*
+        window is a caller bug.
+        """
+        if end < start:
+            raise ValueError("end must not precede start")
+        if self.total_bytes == 0:
+            return 0.0
+        if end == start:
+            return math.inf
         return (self.total_bytes / MB) / (end - start)
 
 
 class LatencyRecorder:
-    """Stores operation durations; offers mean and percentiles."""
+    """Stores operation durations; offers mean and percentiles.
+
+    The sort backing :meth:`percentile` is cached and invalidated on
+    :meth:`record`, so percentile sweeps (p50/p95/p99 in one report
+    line) sort once instead of once per quantile.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, duration: float) -> None:
         if duration < 0:
             raise ValueError("duration must be >= 0")
         self.samples.append(duration)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -78,12 +116,18 @@ class LatencyRecorder:
             raise ValueError("no samples")
         return sum(self.samples) / len(self.samples)
 
+    def _ordered(self) -> list[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        return self._sorted
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, ``p`` in [0, 100]."""
         if not self.samples:
             raise ValueError("no samples")
         if not 0 <= p <= 100:
             raise ValueError("p must be in [0, 100]")
-        ordered = sorted(self.samples)
-        rank = max(1, math.ceil(p / 100 * len(ordered)))
-        return ordered[rank - 1]
+        ordered = self._ordered()
+        if p == 0:
+            return ordered[0]
+        return nearest_rank(ordered, p / 100)

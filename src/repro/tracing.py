@@ -21,12 +21,12 @@ answer "why is this workload slow" without reading event logs.
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.sim.engine import EngineStats
+from repro.sim.stats import nearest_rank
 
 __all__ = [
     "EngineStats",
@@ -43,21 +43,6 @@ _ACTIVE: Optional["RpcTracer"] = None
 def current_tracer() -> Optional["RpcTracer"]:
     """The installed tracer, if any (used by :mod:`repro.rpc`)."""
     return _ACTIVE
-
-
-def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
-    """The q-quantile of ``sorted_values`` by the nearest-rank method.
-
-    Nearest rank: the smallest value with at least ``ceil(q * n)``
-    values at or below it — index ``ceil(q * n) - 1``.  Correct for
-    small samples (q=0.95 of n=20 is the 19th value, not the max; of
-    n=1 it is the only value).
-    """
-    if not sorted_values:
-        raise ValueError("no values")
-    if not 0.0 < q <= 1.0:
-        raise ValueError(f"quantile must be in (0, 1], got {q}")
-    return sorted_values[max(0, math.ceil(q * len(sorted_values)) - 1)]
 
 
 def engine_summary(stats: EngineStats) -> str:

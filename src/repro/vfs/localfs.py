@@ -13,7 +13,6 @@ from repro.sim.engine import Simulator
 from repro.vfs.api import (
     FileSystemClient,
     IsDirectory,
-    NoEntry,
     OpenFile,
     Payload,
 )

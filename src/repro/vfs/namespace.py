@@ -8,7 +8,7 @@ names to opaque per-filesystem object identifiers ("handles").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.vfs.api import (

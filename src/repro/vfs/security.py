@@ -14,7 +14,7 @@ to :class:`~repro.vfs.api.FileAttributes` via ``acl`` entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.vfs.api import AccessDenied, FileAttributes
 

@@ -14,7 +14,7 @@ can compute tps exactly as Postmark does.
 
 from __future__ import annotations
 
-from repro.vfs.api import FileSystemClient, NoEntry, Payload
+from repro.vfs.api import FileSystemClient, Payload
 from repro.workloads.base import Workload, WorkloadResult
 
 __all__ = ["PostmarkWorkload"]

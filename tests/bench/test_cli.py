@@ -27,6 +27,43 @@ class TestCli:
         assert "fig8a" in out
         assert rc in (0, 1)  # shape checks may not hold at tiny scale
 
+    def test_metrics(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "m.json"
+        rc = main(
+            [
+                "metrics", "nfsv4", "ior-write",
+                "--clients", "2", "--scale", "0.02", "--json", str(out_json),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "utilisation" in out
+        assert "bottleneck" in out
+        report = json.loads(out_json.read_text())
+        assert set(report["metrics"]) == {
+            "bottleneck", "counters", "series", "utilisation",
+        }
+        counters = report["metrics"]["counters"]
+        assert any(name.endswith("writeback_errors") for name in counters)
+
+    def test_trace(self, capsys, tmp_path):
+        import json
+
+        out_trace = tmp_path / "run.trace.json"
+        rc = main(
+            [
+                "trace", "nfsv4", "ior-write",
+                "--clients", "2", "--scale", "0.02", "--out", str(out_trace),
+            ]
+        )
+        assert rc == 0
+        assert "spans" in capsys.readouterr().out
+        doc = json.loads(out_trace.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"client-op", "rpc", "server", "disk"} <= cats
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,142 @@
+"""Metrics registry and sampler semantics."""
+
+import pytest
+
+from repro.obs import Counter, MetricsRegistry, Sampler
+from repro.sim import Simulator
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotonic(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestRegistry:
+    def test_counter_is_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("n.hits")
+        b = reg.counter("n.hits")
+        assert a is b
+        a.inc(3)
+        assert reg.collect()["n.hits"] == 3
+
+    def test_gauge_reads_live_value(self):
+        reg = MetricsRegistry()
+        box = {"v": 1}
+        reg.gauge("n.depth", lambda: box["v"])
+        assert reg.collect()["n.depth"] == 1
+        box["v"] = 7
+        assert reg.collect()["n.depth"] == 7
+
+    def test_duplicate_gauge_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", lambda: 0)
+        with pytest.raises(ValueError):
+            reg.gauge("g", lambda: 1)
+
+    def test_cross_kind_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m", lambda: 0)
+        with pytest.raises(ValueError):
+            reg.histogram("m")
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.summary() == {"count": 0}
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["p50"] == 2.0
+        assert s["max"] == 4.0
+
+    def test_collect_sorted_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a", lambda: 0)
+        reg.histogram("c")
+        assert reg.names() == ["a", "b", "c"]
+        assert list(reg.collect()) == ["a", "b", "c"]
+
+    def test_sample_numeric_excludes_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1.0)
+        assert reg.sample_numeric() == {"c": 1}
+
+
+def _run_sampled(interval=0.5, horizon=2.0):
+    """One deterministic run: a process bumps a counter every 0.3 s."""
+    sim = Simulator()
+    reg = MetricsRegistry()
+    c = reg.counter("work")
+
+    def worker():
+        while sim.now < horizon:
+            yield sim.timeout(0.3)
+            c.inc()
+
+    proc = sim.process(worker())
+    with Sampler(sim, reg, interval=interval) as sampler:
+        sim.run(until=proc)
+    return sampler
+
+
+class TestSampler:
+    def test_samples_at_interval_with_t0_and_final(self):
+        sampler = _run_sampled()
+        times = [t for t, _ in sampler.samples]
+        # t0, then every 0.5s, then the final stop() sample at 2.1.
+        assert times[0] == 0.0
+        assert times[:-1] == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0])
+        assert times[-1] == pytest.approx(2.1)
+
+    def test_series_is_monotonic_counter_trace(self):
+        sampler = _run_sampled()
+        vals = [v for _, v in sampler.series("work")]
+        assert vals == sorted(vals)
+        assert vals[-1] == 7  # 0.3s ticks until 2.0: 2.1/0.3
+
+    def test_deterministic_across_runs(self):
+        a, b = _run_sampled(), _run_sampled()
+        assert a.samples == b.samples
+
+    def test_as_dict_shape(self):
+        d = _run_sampled().as_dict()
+        assert d["interval"] == 0.5
+        assert len(d["t"]) == len(d["series"]["work"])
+
+    def test_single_use(self):
+        sim = Simulator()
+        sampler = Sampler(sim, MetricsRegistry(), interval=1.0)
+        sampler.start()
+        sampler.stop()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+
+    def test_stop_disarms_tick(self):
+        """After stop(), pending ticks are no-ops and nothing accrues."""
+        sim = Simulator()
+        sampler = Sampler(sim, MetricsRegistry(), interval=0.5).start()
+        proc = sim.process(iter(sim.timeout(0.7) for _ in range(1)))
+        sim.run(until=proc)
+        sampler.stop()
+        n = len(sampler.samples)
+        sim.run(until=sim.process(iter(sim.timeout(3.0) for _ in range(1))))
+        assert len(sampler.samples) == n
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulator(), MetricsRegistry(), interval=0.0)

@@ -1,0 +1,125 @@
+"""Span collector semantics and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs import SpanCollector, spans as obs_spans
+from repro.sim import Simulator
+
+
+class TestCollectorInstall:
+    def test_install_and_uninstall(self):
+        sim = Simulator()
+        assert obs_spans.ACTIVE is None
+        with SpanCollector(sim) as col:
+            assert obs_spans.ACTIVE is col
+            assert obs_spans.current_collector() is col
+        assert obs_spans.ACTIVE is None
+
+    def test_second_install_rejected(self):
+        sim = Simulator()
+        with SpanCollector(sim):
+            with pytest.raises(RuntimeError):
+                SpanCollector(sim).__enter__()
+        assert obs_spans.ACTIVE is None
+
+    def test_uninstalled_by_default(self):
+        # The pay-for-what-you-use contract: no collector unless one is
+        # explicitly installed.
+        assert obs_spans.ACTIVE is None
+
+
+class TestRecording:
+    def test_begin_end_times_and_args(self):
+        sim = Simulator()
+        with SpanCollector(sim) as col:
+
+            def work():
+                span = col.begin("read", "client-op", "c0", nbytes=4096)
+                yield sim.timeout(1.5)
+                col.end(span, ok=True)
+
+            sim.run(until=sim.process(work()))
+        (span,) = col.spans
+        assert (span.start, span.end) == (0.0, 1.5)
+        assert span.duration == 1.5
+        assert span.args == {"nbytes": 4096, "ok": True}
+
+    def test_concurrent_spans_get_distinct_lanes(self):
+        sim = Simulator()
+        with SpanCollector(sim) as col:
+
+            def work(d):
+                span = col.begin("io", "disk", "s0")
+                yield sim.timeout(d)
+                col.end(span)
+
+            procs = [sim.process(work(1.0)), sim.process(work(2.0))]
+            sim.run(until=sim.all_of(procs))
+        lanes = {s.lane for s in col.spans}
+        assert len(lanes) == 2  # one lane per concurrent process
+
+    def test_by_category(self):
+        sim = Simulator()
+        with SpanCollector(sim) as col:
+            col.end(col.begin("a", "rpc", "n"))
+            col.end(col.begin("b", "rpc", "n"))
+            col.end(col.begin("c", "disk", "n"))
+        cats = {c: len(s) for c, s in col.by_category().items()}
+        assert cats == {"rpc": 2, "disk": 1}
+
+
+class TestChromeTrace:
+    def make(self):
+        sim = Simulator()
+        with SpanCollector(sim) as col:
+
+            def work():
+                span = col.begin("read", "client-op", "c0", path="/f")
+                yield sim.timeout(0.002)
+                col.end(span)
+                col.begin("orphan", "rpc", "s0")  # never ended
+
+            sim.run(until=sim.process(work()))
+        return col
+
+    def test_event_wellformedness(self, tmp_path):
+        col = self.make()
+        path = tmp_path / "run.trace.json"
+        col.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(meta) + len(complete) == len(events)
+        # One process_name record per track, pids match the X events.
+        assert {m["args"]["name"] for m in meta} == {"c0", "s0"}
+        assert {e["pid"] for e in complete} <= {m["pid"] for m in meta}
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_microsecond_scaling(self):
+        col = self.make()
+        read = next(
+            e for e in col.chrome_trace()["traceEvents"] if e.get("name") == "read"
+        )
+        assert read["dur"] == pytest.approx(2000.0)  # 0.002 s -> 2000 us
+
+    def test_unfinished_span_marked_not_dropped(self):
+        col = self.make()
+        orphan = next(
+            e for e in col.chrome_trace()["traceEvents"] if e.get("name") == "orphan"
+        )
+        assert orphan["dur"] == 0
+        assert orphan["args"]["unfinished"] is True
+
+    def test_nonserialisable_args_stringified(self, tmp_path):
+        sim = Simulator()
+        with SpanCollector(sim) as col:
+            col.end(col.begin("x", "rpc", "n", obj=object()))
+        path = tmp_path / "t.json"
+        col.write_chrome_trace(path)
+        json.loads(path.read_text())  # must not raise

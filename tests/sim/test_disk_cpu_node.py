@@ -269,7 +269,19 @@ class TestStats:
     def test_throughput_meter_rejects_bad_window(self):
         m = ThroughputMeter()
         with pytest.raises(ValueError):
-            m.aggregate_mbps(2.0, 2.0)
+            m.aggregate_mbps(2.0, 1.0)  # end precedes start
+
+    def test_throughput_meter_degenerate_windows(self):
+        # An empty meter moved nothing: 0 MB/s whatever the window,
+        # including the zero-width one (this used to raise and abort
+        # report generation for idle components).
+        m = ThroughputMeter()
+        assert m.aggregate_mbps(2.0, 2.0) == 0.0
+        assert m.aggregate_mbps(0.0, 5.0) == 0.0
+        # Bytes moved in a zero-width window is an infinite rate, not
+        # a crash — the caller decides how to render it.
+        m.record(1_000_000, now=2.0)
+        assert m.aggregate_mbps(2.0, 2.0) == float("inf")
 
     def test_latency_recorder_percentiles(self):
         r = LatencyRecorder()
@@ -279,6 +291,22 @@ class TestStats:
         assert r.percentile(50) == 5
         assert r.percentile(95) == 10
         assert r.percentile(100) == 10
+
+    def test_latency_recorder_cached_sort_sees_new_samples(self):
+        r = LatencyRecorder()
+        r.record(5)
+        assert r.percentile(50) == 5
+        r.record(1)  # must invalidate the cached sort
+        assert r.percentile(50) == 1
+        assert r.percentile(0) == 1
+
+    def test_nearest_rank_shared_between_stats_and_tracing(self):
+        from repro.sim.stats import nearest_rank
+        from repro.tracing import nearest_rank as tracing_nearest_rank
+
+        assert tracing_nearest_rank is nearest_rank
+        assert nearest_rank([1, 2, 3, 4], 0.5) == 2
+        assert nearest_rank([1, 2, 3, 4], 1.0) == 4
 
     def test_latency_recorder_empty_errors(self):
         r = LatencyRecorder()
