@@ -1,0 +1,41 @@
+"""Deterministic simulation-torture harness (FoundationDB-style).
+
+``repro.check`` turns the simulator into a bug-finding machine: a seed
+fully determines a concurrent multi-client workload *program*, a fault
+schedule drawn against it, and the simulation that executes both — so
+any invariant violation is replayable from its seed alone, and a
+failing program can be shrunk to a minimal reproducer by re-running
+candidate sub-programs.
+
+Layers:
+
+* :mod:`repro.check.program` — seeded workload generator; a
+  :class:`~repro.check.program.Program` is architecture-agnostic and
+  runs unchanged against all five deployments;
+* :mod:`repro.check.model` — reference in-memory file model and the
+  invariant checkers (durability after fsync, read oracles, lock
+  safety, exactly-once, conservation);
+* :mod:`repro.check.runner` — executes one (program, architecture)
+  episode under fault injection and reports violations plus a
+  deterministic trace hash;
+* :mod:`repro.check.shrink` — generic greedy delta-debugging plus the
+  program-specific shrinker behind ``repro torture --shrink``.
+"""
+
+from repro.check.program import FaultSpec, Op, Program, generate
+from repro.check.model import Model
+from repro.check.runner import EpisodeResult, run_episode, sweep
+from repro.check.shrink import shrink_list, shrink_program
+
+__all__ = [
+    "EpisodeResult",
+    "FaultSpec",
+    "Model",
+    "Op",
+    "Program",
+    "generate",
+    "run_episode",
+    "shrink_list",
+    "shrink_program",
+    "sweep",
+]

@@ -1,0 +1,214 @@
+"""Reference file model and data-integrity oracles.
+
+The model shadows every torture write at the byte level (vectorised
+over numpy arrays, so whole-file checks stay cheap) and answers two
+questions the simulation cannot answer about itself:
+
+* **mid-episode read oracle** — a read may be stale (close-to-open
+  consistency, caches, in-flight write-back) but never *invented*:
+  every observed byte must be a value some write actually put there, or
+  0 (the hole value).  Additionally, a client reading bytes it wrote
+  itself, with no I/O error surfaced to it so far, must see its own
+  last acknowledged write (read-your-writes);
+* **post-episode durability oracle** — after faults heal and every
+  client has fsynced, a fresh client's read-back must satisfy errseq
+  semantics: for each byte, the *durability floor* is the last
+  acknowledged write covered by a successful fsync; the byte must hold
+  that write's tag or a later write's tag.  An older tag (or a hole)
+  below the floor means an acknowledged-and-fsynced write was silently
+  lost — the class of bug the PR-3 write-back fix closed.
+
+Byte ownership (see :mod:`repro.check.program`) guarantees each byte
+has one writer, so "last write" is well defined without modelling the
+servers' internal serialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.check.program import Program
+
+__all__ = ["Model"]
+
+#: Error kinds that may legitimately cost data (degrade read-your-writes
+#: to the tolerant oracle).  Lock conflicts never taint.
+_DATA_OPS = ("write", "fsync", "reopen", "close", "open")
+
+
+@dataclass
+class _Write:
+    start: int
+    end: int
+    tag: int
+    client: int
+    acked: bool = False
+
+
+@dataclass
+class _FileState:
+    size: int
+    owner: np.ndarray  # per-byte writing client
+    writes: list[_Write] = field(default_factory=list)
+    last_acked_idx: np.ndarray = None  # type: ignore[assignment]
+    acked_writer: np.ndarray = None  # type: ignore[assignment]
+    floor_idx: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.last_acked_idx = np.full(self.size, -1, dtype=np.int32)
+        self.acked_writer = np.full(self.size, -1, dtype=np.int16)
+        self.floor_idx = np.full(self.size, -1, dtype=np.int32)
+
+    def tags(self) -> np.ndarray:
+        return np.array([w.tag for w in self.writes] or [0], dtype=np.int32)
+
+
+class Model:
+    """Shadow state + oracles for one program execution."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.files: dict[str, _FileState] = {}
+        for path in program.files:
+            size = program.file_size(path)
+            owner = np.fromiter(
+                (program.owner_of(path, x) for x in range(0, size, 1)),
+                dtype=np.int16,
+                count=size,
+            )
+            self.files[path] = _FileState(size=size, owner=owner)
+        #: (client, path) pairs that saw an I/O error: read-your-writes
+        #: no longer applies (data may legitimately have been dropped
+        #: after the error was *surfaced* — that is errseq working).
+        self.tainted: set[tuple[int, str]] = set()
+        self.reads_checked = 0
+        self.bytes_checked = 0
+        self.synthetic_reads = 0
+
+    # -- write lifecycle ---------------------------------------------------
+    def on_write_start(self, client: int, path: str, start: int, end: int, tag: int) -> int:
+        """Register an attempted write; returns its index.
+
+        Attempted-but-unacknowledged writes may still land on disk (the
+        ack, not the data, can be what the fault destroyed), so they
+        enter the oracle's *allowed* sets immediately.
+        """
+        st = self.files[path]
+        st.writes.append(_Write(start, end, tag, client))
+        return len(st.writes) - 1
+
+    def on_write_ack(self, path: str, idx: int) -> None:
+        st = self.files[path]
+        w = st.writes[idx]
+        w.acked = True
+        st.last_acked_idx[w.start : w.end] = idx
+        st.acked_writer[w.start : w.end] = w.client
+
+    def on_durable(self, client: int, path: str) -> None:
+        """A successful fsync/close by ``client``: every write it has
+        had acknowledged so far is now guaranteed durable."""
+        st = self.files[path]
+        mine = st.acked_writer == client
+        st.floor_idx[mine] = np.maximum(st.floor_idx[mine], st.last_acked_idx[mine])
+
+    def on_error(self, client: int, path: str, op_kind: str) -> None:
+        if op_kind in _DATA_OPS:
+            self.tainted.add((client, path))
+
+    # -- oracles -----------------------------------------------------------
+    def _allowed_mask(
+        self, st: _FileState, offset: int, observed: np.ndarray, floor: np.ndarray | None
+    ) -> np.ndarray:
+        """Bytes of ``observed`` explainable by the write history.
+
+        With ``floor`` (final check) a write only explains bytes whose
+        durability floor it meets; without (mid-episode) any historical
+        value — or a hole — is acceptable.
+        """
+        n = len(observed)
+        end = offset + n
+        if floor is None:
+            allowed = observed == 0
+        else:
+            allowed = (observed == 0) & (floor == -1)
+        for idx, w in enumerate(st.writes):
+            if w.end <= offset or w.start >= end:
+                continue
+            lo, hi = max(w.start, offset) - offset, min(w.end, end) - offset
+            span = slice(lo, hi)
+            ok = observed[span] == w.tag
+            if floor is not None:
+                ok &= idx >= floor[span]
+            allowed[span] |= ok
+        return allowed
+
+    def check_read(
+        self, client: int, path: str, offset: int, data: bytes | None, nbytes: int
+    ) -> list[str]:
+        """Mid-episode oracle for one read's result."""
+        self.reads_checked += 1
+        if data is None:
+            self.synthetic_reads += 1
+            return []
+        st = self.files[path]
+        observed = np.frombuffer(data, dtype=np.uint8).astype(np.int32)
+        self.bytes_checked += len(observed)
+        violations = []
+        allowed = self._allowed_mask(st, offset, observed, floor=None)
+        if not allowed.all():
+            bad = int(np.flatnonzero(~allowed)[0])
+            violations.append(
+                f"read-oracle: client{client} {path}[{offset}+{nbytes}] "
+                f"byte {offset + bad} = {int(observed[bad])}, never written"
+            )
+        # Read-your-writes on the reader's own acknowledged bytes.
+        if (client, path) not in self.tainted:
+            end = offset + len(observed)
+            region = slice(offset, end)
+            own = (st.acked_writer[region] == client) & (
+                st.last_acked_idx[region] >= 0
+            )
+            if own.any():
+                expected = st.tags()[st.last_acked_idx[region]]
+                mism = own & (observed != expected)
+                if mism.any():
+                    bad = int(np.flatnonzero(mism)[0])
+                    violations.append(
+                        f"read-your-writes: client{client} {path} byte "
+                        f"{offset + bad} = {int(observed[bad])}, expected "
+                        f"{int(expected[bad])} (own acknowledged write, "
+                        f"no error surfaced)"
+                    )
+        return violations
+
+    def check_final(self, path: str, data: bytes | None, nbytes: int) -> list[str]:
+        """Post-heal durability oracle over a fresh client's read-back."""
+        st = self.files[path]
+        observed = np.zeros(st.size, dtype=np.int32)
+        if data is not None:
+            got = np.frombuffer(data, dtype=np.uint8).astype(np.int32)
+            observed[: min(len(got), st.size)] = got[: st.size]
+        elif nbytes and any(w.acked for w in st.writes):
+            return [
+                f"final-read: {path} returned synthetic payload — cannot "
+                f"verify durability of acknowledged writes"
+            ]
+        allowed = self._allowed_mask(st, 0, observed, floor=st.floor_idx)
+        if allowed.all():
+            return []
+        bad_idx = np.flatnonzero(~allowed)
+        bad = int(bad_idx[0])
+        floor = int(st.floor_idx[bad])
+        want = int(st.tags()[floor]) if floor >= 0 else 0
+        kind = (
+            "silent-loss: acknowledged+fsynced write lost"
+            if floor >= 0
+            else "corruption: value never written"
+        )
+        return [
+            f"durability: {path} {len(bad_idx)} bad bytes, first at "
+            f"{bad}: got {int(observed[bad])}, durability floor requires "
+            f">= write tag {want} — {kind}"
+        ]

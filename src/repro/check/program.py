@@ -1,0 +1,271 @@
+"""Seeded torture programs: concurrent multi-client workloads.
+
+A :class:`Program` is a deterministic function of its seed: per-client
+op lists (overlapping and noncontiguous reads/writes, byte-range locks,
+fsync, close/reopen, think time) over one shared file plus per-client
+private files, and a fault schedule.  Programs are architecture-
+agnostic — the runner maps abstract fault targets ("server 2", "client
+1's NIC") onto whatever the deployment provides, and skips op/fault
+kinds an architecture cannot express (PVFS2 has no locks and no RPC
+retry, so it gets delay faults only).
+
+**Byte ownership** makes concurrent writes checkable without modelling
+server-side serialisation: the shared file is divided into ``chunk``-
+sized slots and slot ``s`` belongs to client ``s % n_clients``; clients
+write only bytes they own, so every byte has a single, well-ordered
+writer history.  Each write carries a distinct nonzero *tag* byte, so
+any observed byte identifies exactly which write produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["FaultSpec", "Op", "Program", "generate"]
+
+KB = 1024
+
+SHARED = "/torture-shared"
+
+
+def private_path(client: int) -> str:
+    return f"/torture-private{client}"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One client-program step.
+
+    ``kind`` is one of ``write`` (own bytes, tagged), ``read``,
+    ``fsync``, ``reopen`` (close + open, drops close-to-open state),
+    ``lock`` / ``unlock`` (advisory byte-range), ``sleep``.
+    """
+
+    kind: str
+    file: str = ""
+    offset: int = 0
+    length: int = 0
+    tag: int = 0
+    lock_kind: str = "write"
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One abstract fault: resolved against a deployment by the runner.
+
+    ``kind``: ``outage`` (one server fail/restore), ``blackout`` (every
+    server down for the window — defeats pNFS MDS-proxy failover, the
+    schedule that must flush out silent write-back loss), ``nic_drop``
+    / ``nic_delay`` (a client NIC loses a fraction of flows / gains
+    latency for the window).  ``target`` indexes servers (outage) or
+    clients (nic_*); ``param`` is the drop probability or added delay.
+    """
+
+    kind: str
+    target: int = 0
+    start: float = 0.1
+    duration: float = 0.5
+    param: float = 0.0
+
+
+@dataclass
+class Program:
+    """A complete torture episode: workload + fault schedule."""
+
+    seed: int
+    n_clients: int
+    chunk: int
+    shared_size: int
+    private_size: int
+    ops: list[list[Op]] = field(default_factory=list)
+    faults: list[FaultSpec] = field(default_factory=list)
+
+    # -- ownership ---------------------------------------------------------
+    def owner_of(self, path: str, offset: int) -> int:
+        """The client allowed to write byte ``offset`` of ``path``."""
+        if path == SHARED:
+            return (offset // self.chunk) % self.n_clients
+        for c in range(self.n_clients):
+            if path == private_path(c):
+                return c
+        raise ValueError(f"unknown torture file {path!r}")
+
+    def file_size(self, path: str) -> int:
+        return self.shared_size if path == SHARED else self.private_size
+
+    @property
+    def files(self) -> list[str]:
+        return [SHARED] + [private_path(c) for c in range(self.n_clients)]
+
+    @property
+    def op_count(self) -> int:
+        return sum(len(t) for t in self.ops)
+
+    # -- (de)serialisation — failing programs ship as CI artifacts ---------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "n_clients": self.n_clients,
+                "chunk": self.chunk,
+                "shared_size": self.shared_size,
+                "private_size": self.private_size,
+                "ops": [[asdict(op) for op in track] for track in self.ops],
+                "faults": [asdict(f) for f in self.faults],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Program":
+        raw = json.loads(text)
+        return cls(
+            seed=raw["seed"],
+            n_clients=raw["n_clients"],
+            chunk=raw["chunk"],
+            shared_size=raw["shared_size"],
+            private_size=raw["private_size"],
+            ops=[[Op(**op) for op in track] for track in raw["ops"]],
+            faults=[FaultSpec(**f) for f in raw["faults"]],
+        )
+
+    def without(self, drop_ops: set = frozenset(), drop_faults: set = frozenset()) -> "Program":
+        """Copy minus the ops/faults named by (client, index) / index."""
+        ops = [
+            [op for j, op in enumerate(track) if (c, j) not in drop_ops]
+            for c, track in enumerate(self.ops)
+        ]
+        faults = [f for i, f in enumerate(self.faults) if i not in drop_faults]
+        return replace(self, ops=ops, faults=faults)
+
+
+# --------------------------------------------------------------------------
+# Generation
+# --------------------------------------------------------------------------
+
+_OP_KINDS = ["write", "read", "fsync", "reopen", "lock", "sleep"]
+_OP_WEIGHTS = [0.40, 0.23, 0.12, 0.07, 0.13, 0.05]
+
+_FAULT_KINDS = ["outage", "blackout", "nic_drop", "nic_delay"]
+_FAULT_WEIGHTS = [0.40, 0.20, 0.25, 0.15]
+
+
+def generate(
+    seed: int,
+    n_clients: int | None = None,
+    ops_per_client: int | None = None,
+    with_faults: bool = True,
+) -> Program:
+    """The torture program for ``seed`` — pure function of its arguments."""
+    rng = np.random.default_rng(seed)
+    n = int(n_clients) if n_clients is not None else int(rng.integers(2, 4))
+    chunk = int(rng.choice([8, 16, 32])) * KB
+    slots_per_client = int(rng.integers(2, 4))
+    prog = Program(
+        seed=seed,
+        n_clients=n,
+        chunk=chunk,
+        shared_size=chunk * n * slots_per_client,
+        private_size=chunk * int(rng.integers(1, 4)),
+    )
+    next_tag = 1
+
+    def take_tag() -> int:
+        nonlocal next_tag
+        tag = (next_tag - 1) % 255 + 1  # 1..255, never 0 (the hole value)
+        next_tag += 1
+        return tag
+
+    for c in range(n):
+        track: list[Op] = []
+        held: list[tuple[str, int, int]] = []  # (file, start, end) we hold
+        own_slots = [k * n + c for k in range(slots_per_client)]
+
+        def own_range(rng=rng, c=c, own_slots=own_slots):
+            """A write range the client owns: one shared slot or private."""
+            if rng.random() < 0.6:
+                slot = int(rng.choice(own_slots))
+                base = slot * chunk
+                span = chunk
+                path = SHARED
+            else:
+                base, span, path = 0, prog.private_size, private_path(c)
+            start = base + int(rng.integers(0, span))
+            length = int(rng.integers(1, span - (start - base) + 1))
+            return path, start, start + length
+
+        count = (
+            int(ops_per_client)
+            if ops_per_client is not None
+            else int(rng.integers(6, 14))
+        )
+        for _ in range(count):
+            kind = str(rng.choice(_OP_KINDS, p=_OP_WEIGHTS))
+            if kind == "write":
+                path, start, end = own_range()
+                track.append(
+                    Op("write", path, start, end - start, tag=take_tag())
+                )
+            elif kind == "read":
+                # Anywhere in any file — including other owners' bytes.
+                path = SHARED if rng.random() < 0.7 else private_path(c)
+                size = prog.file_size(path)
+                start = int(rng.integers(0, size))
+                length = int(rng.integers(1, min(64 * KB, size - start) + 1))
+                track.append(Op("read", path, start, length))
+            elif kind == "fsync":
+                path = SHARED if rng.random() < 0.7 else private_path(c)
+                track.append(Op("fsync", path))
+            elif kind == "reopen":
+                path = SHARED if rng.random() < 0.7 else private_path(c)
+                track.append(Op("reopen", path))
+            elif kind == "lock":
+                if held and rng.random() < 0.45:
+                    path, start, end = held.pop(int(rng.integers(len(held))))
+                    track.append(Op("unlock", path, start, end - start))
+                else:
+                    path, start, end = own_range()
+                    lk = "write" if rng.random() < 0.7 else "read"
+                    track.append(Op("lock", path, start, end - start, lock_kind=lk))
+                    held.append((path, start, end))
+            else:
+                # Think time stretches the episode across the fault
+                # windows; without it the whole workload outruns them.
+                track.append(Op("sleep", delay=float(rng.uniform(0.01, 0.15))))
+        # Orderly epilogue: drop every lock still held, then persist.
+        for path, start, end in held:
+            track.append(Op("unlock", path, start, end - start))
+        track.append(Op("fsync", SHARED))
+        track.append(Op("fsync", private_path(c)))
+        prog.ops.append(track)
+
+    if with_faults:
+        for _ in range(int(rng.integers(0, 3))):
+            kind = str(rng.choice(_FAULT_KINDS, p=_FAULT_WEIGHTS))
+            # Start/duration are sized against the workload: episodes run
+            # their ops in a few hundred milliseconds of sim time, so
+            # windows beyond that only ever fault an idle cluster.  Most
+            # windows are shorter than the RPC retry budget (~3.75 s
+            # under the torture config) — retransmission must save the
+            # data; a minority outlast it, forcing write-backs to *fail*
+            # and the errseq/failover paths to carry the episode.
+            duration = (
+                float(rng.uniform(4.0, 8.0))
+                if rng.random() < 0.3
+                else float(rng.uniform(0.05, 0.45))
+            )
+            spec = FaultSpec(
+                kind=kind,
+                target=int(rng.integers(0, 8)),
+                start=float(rng.uniform(0.002, 0.2)),
+                duration=duration,
+                param=float(rng.uniform(0.05, 0.4))
+                if kind == "nic_drop"
+                else float(rng.uniform(0.001, 0.05)),
+            )
+            prog.faults.append(spec)
+    return prog

@@ -1,0 +1,444 @@
+"""Execute one torture episode and check every invariant.
+
+An *episode* is ``(program, architecture)``: the program's clients run
+concurrently against a fresh seeded deployment while the program's
+fault schedule plays out, then faults heal, the cluster settles, and a
+fresh verifier client reads every file back for the durability oracle.
+The whole episode is a deterministic function of the program (and the
+program of its seed), so :func:`run_episode` also returns a sha256
+trace hash — byte-identical across replays of the same seed, the
+property the shrinker and CI artifacts rely on.
+
+Invariants checked (ISSUE: torture-harness checkers):
+
+* data integrity / errseq — :mod:`repro.check.model` oracles;
+* exactly-once — no session sequence id executes twice server-side
+  (``Session.TRACK_EXECUTIONS``);
+* lock safety — a monitor polls every server's lock tables for
+  conflicting coexisting grants;
+* liveness — the episode and the final verification each finish within
+  a generous sim-time deadline (RPC timeouts bound every stall);
+* conservation / leaks — post-heal: no session slot or server worker
+  thread still held, readahead never consumes more than it issued, and
+  the network never delivers more bytes than were sent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro import rpc
+from repro.check.model import Model
+from repro.check.program import Program, generate
+from repro.cluster.configs import make_deployment
+from repro.nfs.sessions import Session
+from repro.sim.faults import FaultInjector
+from repro.vfs.api import FsError, Payload
+
+__all__ = [
+    "EpisodeResult",
+    "buggy_writeback_factory",
+    "run_episode",
+    "sweep",
+    "TORTURE_NFS",
+    "TORTURE_PVFS",
+]
+
+KB = 1024
+
+#: Aggressive-but-sane protocol knobs for torture runs: small transfers
+#: (more interleavings per byte), short RPC timeouts (faults surface
+#: within the episode), no delegations (recalls to a crashed client
+#: cannot wedge an episode).
+TORTURE_NFS = dict(
+    rsize=16 * KB,
+    wsize=16 * KB,
+    readahead=32 * KB,
+    ac_timeo=0.05,
+    delegations=False,
+    rpc_timeout=0.25,
+    rpc_max_retries=3,
+    rpc_backoff=2.0,
+    rpc_max_timeout=2.0,
+    ds_retry_interval=0.5,
+)
+TORTURE_PVFS = dict(stripe_size=32 * KB)
+
+#: Fault kinds each architecture can absorb without wedging by design.
+#: The native PVFS2 client has no RPC retry layer at all — a lost flow
+#: hangs it forever — so it only gets added-latency faults.
+_FAULT_CAPS = {"pvfs2": {"nic_delay"}}
+
+_EPISODE_DEADLINE = 120.0  # sim seconds
+_VERIFY_DEADLINE = 60.0
+_SETTLE = 8.0
+_LOCK_POLL = 0.02
+
+
+@dataclass
+class EpisodeResult:
+    seed: int
+    arch: str
+    violations: list[str] = field(default_factory=list)
+    trace_hash: str = ""
+    wedged: bool = False
+    op_count: int = 0
+    fault_log: list[tuple[float, str]] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _caps(arch: str) -> set:
+    return _FAULT_CAPS.get(arch, {"outage", "blackout", "nic_drop", "nic_delay"})
+
+
+def buggy_writeback_factory(dep, node):
+    """Client factory reintroducing the pre-fix write-back bug.
+
+    Before the errseq fix, a failed asynchronous write-back left the
+    range off the dirty list and latched no error: the bytes were gone
+    and the next fsync still reported success.  Re-running a sweep with
+    this factory must make the durability oracle report the silent
+    loss — the standing proof that the harness has the power to catch
+    the bug class this repo already shipped a fix for.
+    """
+    import types
+
+    cl = dep.make_client(node)
+    if not hasattr(cl, "_writeback"):  # native PVFS2 client: no cache
+        return cl
+
+    def _writeback(self, f, start, end):
+        data = f.state["cache"].read(start, end - start)
+        try:
+            yield from self._io_write(f, start, data)
+        except (FsError, rpc.RpcTimeout):
+            return  # the bug: range already left ``dirty``, no error latched
+        finally:
+            f.state["flushing"].remove(start, end)
+        f.state["commit_needed"] = True
+        self.bytes_written += data.nbytes
+
+    cl._writeback = types.MethodType(_writeback, cl)
+    return cl
+
+
+def run_episode(
+    program: Program,
+    arch: str,
+    deadline: float = _EPISODE_DEADLINE,
+    client_factory=None,
+) -> EpisodeResult:
+    """Run ``program`` against ``arch``; returns violations + trace hash.
+
+    ``client_factory(deployment, node)`` overrides client construction —
+    the hook the silent-loss demonstration uses to install a client
+    class with the pre-fix write-back bug.
+    """
+    result = EpisodeResult(seed=program.seed, arch=arch, op_count=program.op_count)
+    dep = make_deployment(
+        arch,
+        n_clients=program.n_clients + 1,  # +1 node for the fresh verifier
+        seed=program.seed,
+        nfs_overrides=dict(TORTURE_NFS),
+        pvfs_overrides=dict(TORTURE_PVFS),
+    )
+    sim = dep.testbed.sim
+    model = Model(program)
+    trace: list[tuple] = []
+    violations = result.violations
+    make_client = client_factory or (lambda d, node: d.make_client(node))
+
+    was_tracking = Session.TRACK_EXECUTIONS
+    Session.TRACK_EXECUTIONS = True
+    try:
+        clients = [
+            make_client(dep, node)
+            for node in dep.testbed.client_nodes[: program.n_clients]
+        ]
+
+        # -- setup: mount + create every file before faults start ----------
+        def setup():
+            for c, cl in enumerate(clients):
+                if hasattr(cl, "mount"):
+                    yield from cl.mount()
+            cl = clients[0]
+            for path in program.files:
+                f = yield from cl.create(path)
+                yield from cl.close(f)
+
+        sim.run(until=sim.process(setup(), name="torture-setup"))
+        t0 = sim.now
+
+        # -- fault schedule ------------------------------------------------
+        inj = FaultInjector(sim)
+        caps = _caps(arch)
+        for spec in program.faults:
+            if spec.kind not in caps:
+                trace.append(("fault-skipped", spec.kind, arch))
+                continue
+            start = t0 + spec.start
+            if spec.kind == "outage":
+                srv = dep.servers[spec.target % len(dep.servers)]
+                inj.outage(srv.rpc, start, spec.duration)
+            elif spec.kind == "blackout":
+                for srv in dep.servers:
+                    inj.outage(srv.rpc, start, spec.duration)
+            elif spec.kind == "nic_drop":
+                nic = dep.testbed.client_nodes[spec.target % program.n_clients].nic
+                inj.flaky_nic(nic, spec.param, start, spec.duration)
+            elif spec.kind == "nic_delay":
+                nic = dep.testbed.client_nodes[spec.target % program.n_clients].nic
+                inj.at(start, lambda nic=nic, p=spec.param: inj.nic_delay(nic, p))
+                inj.at(
+                    start + spec.duration,
+                    lambda nic=nic: inj.nic_delay(nic, 0.0),
+                )
+
+        # -- workers -------------------------------------------------------
+        def worker(c: int, cl, track):
+            files: dict[str, object] = {}
+
+            def ensure_open(path):
+                if path not in files:
+                    files[path] = yield from cl.open(path, write=True)
+                return files[path]
+
+            for op in track:
+                t = round(sim.now - t0, 9)
+                try:
+                    if op.kind == "sleep":
+                        yield sim.timeout(op.delay)
+                        outcome = "ok"
+                    elif op.kind == "write":
+                        f = yield from ensure_open(op.file)
+                        idx = model.on_write_start(
+                            c, op.file, op.offset, op.offset + op.length, op.tag
+                        )
+                        yield from cl.write(
+                            f, op.offset, Payload(bytes([op.tag]) * op.length)
+                        )
+                        model.on_write_ack(op.file, idx)
+                        outcome = f"ok:{op.length}"
+                    elif op.kind == "read":
+                        f = yield from ensure_open(op.file)
+                        got = yield from cl.read(f, op.offset, op.length)
+                        violations.extend(
+                            model.check_read(
+                                c, op.file, op.offset, got.data, got.nbytes
+                            )
+                        )
+                        outcome = f"ok:{got.nbytes}"
+                    elif op.kind == "fsync":
+                        if op.file in files:
+                            yield from cl.fsync(files[op.file])
+                            model.on_durable(c, op.file)
+                        outcome = "ok"
+                    elif op.kind == "reopen":
+                        if op.file in files:
+                            yield from cl.close(files.pop(op.file))
+                            model.on_durable(c, op.file)
+                        files[op.file] = yield from cl.open(op.file, write=True)
+                        outcome = "ok"
+                    elif op.kind == "lock":
+                        if not hasattr(cl, "lock"):
+                            outcome = "skip"
+                        else:
+                            f = yield from ensure_open(op.file)
+                            yield from cl.lock(
+                                f, op.offset, op.offset + op.length, op.lock_kind
+                            )
+                            outcome = "ok"
+                    elif op.kind == "unlock":
+                        if not hasattr(cl, "lock") or op.file not in files:
+                            outcome = "skip"
+                        else:
+                            yield from cl.unlock(
+                                files[op.file], op.offset, op.offset + op.length
+                            )
+                            outcome = "ok"
+                    else:  # pragma: no cover - generator never emits others
+                        outcome = "skip"
+                except (FsError, rpc.RpcTimeout) as exc:
+                    # Trace the *class*, never the message: messages can
+                    # embed object reprs (memory addresses) and would
+                    # break trace-hash determinism.
+                    outcome = f"err:{type(exc).__name__}"
+                    model.on_error(c, op.file, op.kind)
+                trace.append((t, c, op.kind, op.file, outcome))
+            for path, f in list(files.items()):
+                try:
+                    yield from cl.close(f)
+                    model.on_durable(c, path)
+                    trace.append((round(sim.now - t0, 9), c, "close", path, "ok"))
+                except (FsError, rpc.RpcTimeout) as exc:
+                    model.on_error(c, path, "close")
+                    trace.append(
+                        (
+                            round(sim.now - t0, 9),
+                            c,
+                            "close",
+                            path,
+                            f"err:{type(exc).__name__}",
+                        )
+                    )
+
+        procs = [
+            sim.process(worker(c, cl, track), name=f"torture-c{c}")
+            for c, (cl, track) in enumerate(zip(clients, program.ops))
+        ]
+        done = sim.all_of(procs)
+
+        # -- lock-safety monitor ------------------------------------------
+        lock_reports: set[str] = set()
+
+        def lock_monitor():
+            while not done.triggered:
+                for srv in dep.servers:
+                    locks = getattr(srv, "locks", None)
+                    if locks is None:
+                        continue
+                    for fh, table in locks.snapshot().items():
+                        for i, a in enumerate(table):
+                            for b in table[i + 1 :]:
+                                if (
+                                    a.owner != b.owner
+                                    and a.overlaps(b.start, b.end)
+                                    and ("write" in (a.kind, b.kind))
+                                ):
+                                    lock_reports.add(
+                                        f"lock-safety: {srv.name} fh={fh} "
+                                        f"conflicting grants {a.kind}"
+                                        f"[{a.start},{a.end}) and {b.kind}"
+                                        f"[{b.start},{b.end}) coexist"
+                                    )
+                yield sim.timeout(_LOCK_POLL)
+
+        sim.process(lock_monitor(), name="lock-monitor")
+
+        sim.run(until=sim.any_of([done, sim.timeout(deadline)]))
+        if not done.triggered:
+            result.wedged = True
+            stuck = [p.name for p in procs if not p.triggered]
+            violations.append(
+                f"liveness: episode exceeded {deadline}s sim deadline; "
+                f"stuck: {', '.join(stuck)}"
+            )
+        violations.extend(sorted(lock_reports))
+
+        # -- heal + settle -------------------------------------------------
+        sim.run(until=sim.now + _SETTLE)
+
+        # -- final verification (skip if wedged: cluster state is moot) ----
+        if not result.wedged:
+            verifier = make_client(
+                dep, dep.testbed.client_nodes[program.n_clients]
+            )
+
+            def verify():
+                if hasattr(verifier, "mount"):
+                    yield from verifier.mount()
+                for path in program.files:
+                    f = yield from verifier.open(path, write=False)
+                    got = yield from verifier.read(f, 0, program.file_size(path))
+                    violations.extend(
+                        model.check_final(path, got.data, got.nbytes)
+                    )
+                    yield from verifier.close(f)
+
+            vproc = sim.process(verify(), name="torture-verify")
+            sim.run(until=sim.any_of([vproc, sim.timeout(_VERIFY_DEADLINE)]))
+            if not vproc.triggered:
+                result.wedged = True
+                violations.append(
+                    f"liveness: final verification exceeded "
+                    f"{_VERIFY_DEADLINE}s sim deadline"
+                )
+
+            # -- leaks + conservation (only meaningful post-quiesce) ------
+            all_clients = clients + [verifier]
+            for c, cl in enumerate(all_clients):
+                for srv, sess in getattr(cl, "_sessions", {}).items():
+                    if sess.slots.in_use:
+                        violations.append(
+                            f"leak: client{c} session to {srv.name} still "
+                            f"holds {sess.slots.in_use} slots after quiesce"
+                        )
+                    if sess.duplicate_executions:
+                        violations.append(
+                            f"exactly-once: client{c} session to {srv.name} "
+                            f"re-executed {sess.duplicate_executions} "
+                            f"retransmitted requests (reply cache failed)"
+                        )
+                issued = getattr(cl, "readahead_issued_bytes", 0)
+                used = getattr(cl, "readahead_used_bytes", 0)
+                if used > issued:
+                    violations.append(
+                        f"conservation: client{c} readahead used {used} > "
+                        f"issued {issued}"
+                    )
+            for srv in dep.servers:
+                if srv.rpc.threads.in_use:
+                    violations.append(
+                        f"leak: {srv.name} still holds "
+                        f"{srv.rpc.threads.in_use} worker threads after "
+                        f"quiesce"
+                    )
+            nodes = (
+                dep.testbed.server_nodes
+                + dep.testbed.client_nodes
+                + [dep.testbed.extra_node]
+            )
+            tx = sum(n.nic.tx_bytes for n in nodes)
+            rx = sum(n.nic.rx_bytes for n in nodes)
+            if rx > tx:
+                violations.append(
+                    f"conservation: network delivered {rx} bytes but only "
+                    f"{tx} were sent"
+                )
+
+        result.fault_log = list(inj.events)
+        result.stats = {
+            "reads_checked": model.reads_checked,
+            "bytes_checked": model.bytes_checked,
+            "synthetic_reads": model.synthetic_reads,
+            "trace_len": len(trace),
+            "sim_time": round(sim.now, 6),
+        }
+        digest = hashlib.sha256()
+        for entry in trace:
+            digest.update(repr(entry).encode())
+        for when, what in inj.events:
+            digest.update(f"{when:.9f}:{what}".encode())
+        result.trace_hash = digest.hexdigest()
+    finally:
+        Session.TRACK_EXECUTIONS = was_tracking
+    return result
+
+
+def sweep(
+    arches: list[str],
+    seeds: int,
+    start_seed: int = 0,
+    client_factory=None,
+    progress=None,
+) -> list[EpisodeResult]:
+    """Run ``seeds`` consecutive seeds against each architecture.
+
+    Returns every result (failing and passing); callers filter.  The
+    program for a seed is shared across architectures — the same
+    workload must hold up everywhere.
+    """
+    results = []
+    for seed in range(start_seed, start_seed + seeds):
+        program = generate(seed)
+        for arch in arches:
+            res = run_episode(program, arch, client_factory=client_factory)
+            results.append(res)
+            if progress is not None:
+                progress(res)
+    return results

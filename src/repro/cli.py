@@ -10,6 +10,8 @@ Subcommands::
         --clients 4 --json out.json              # cell + metrics/utilisation
     python -m repro trace direct-pnfs ior-write \\
         --out run.trace.json                     # cell + Perfetto trace
+    python -m repro torture --seeds 50           # invariant-checked sweeps
+    python -m repro torture --replay 7 --shrink  # minimal failing program
     python -m repro quickstart                   # the quickstart demo
 """
 
@@ -157,6 +159,93 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_torture(args) -> int:
+    """Seeded torture sweeps, replay, and shrinking (repro.check)."""
+    import json
+
+    from repro.check import generate, run_episode, shrink_program
+    from repro.check.runner import buggy_writeback_factory
+
+    arches = args.arch or ["direct-pnfs", "pnfs-2tier"]
+    factory = buggy_writeback_factory if args.buggy_writeback else None
+
+    if args.replay is not None:
+        program = generate(args.replay)
+        failing = None
+        for arch in arches:
+            res = run_episode(program, arch, client_factory=factory)
+            status = "FAIL" if res.violations else "ok"
+            print(
+                f"seed {args.replay} / {arch}: {status}  "
+                f"trace {res.trace_hash[:16]}  "
+                f"({res.op_count} ops, {len(program.faults)} faults, "
+                f"{res.stats.get('sim_time', 0)} sim s)"
+            )
+            for v in res.violations:
+                print(f"  - {v}")
+            if res.violations and failing is None:
+                failing = arch
+        if failing is None:
+            return 0
+        if args.shrink:
+            print(f"\nshrinking against {failing} ...")
+            minimal, runs = shrink_program(
+                program, failing, client_factory=factory
+            )
+            print(
+                f"minimal failing program after {runs} runs: "
+                f"{minimal.op_count} ops, {len(minimal.faults)} faults"
+            )
+            print(minimal.to_json())
+            if args.json:
+                with open(args.json, "w") as fh:
+                    fh.write(minimal.to_json())
+                print(f"wrote {args.json}")
+        return 1
+
+    failures = []
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        program = generate(seed)
+        for arch in arches:
+            res = run_episode(program, arch, client_factory=factory)
+            if res.violations:
+                failures.append(res)
+                print(f"FAIL seed {seed} / {arch}:")
+                for v in res.violations:
+                    print(f"  - {v}")
+    total = args.seeds * len(arches)
+    print(
+        f"{total - len(failures)}/{total} episodes clean "
+        f"(seeds {args.start_seed}..{args.start_seed + args.seeds - 1}, "
+        f"arches: {', '.join(arches)})"
+    )
+    if not failures:
+        return 0
+    first = failures[0]
+    print(
+        f"\nreproduce with: repro torture --replay {first.seed} "
+        f"--arch {first.arch} --shrink"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                [
+                    {
+                        "seed": r.seed,
+                        "arch": r.arch,
+                        "violations": r.violations,
+                        "trace_hash": r.trace_hash,
+                        "program": json.loads(generate(r.seed).to_json()),
+                    }
+                    for r in failures
+                ],
+                fh,
+                indent=2,
+            )
+        print(f"wrote {args.json}")
+    return 1
+
+
 def _cmd_quickstart(_args) -> int:
     import pathlib
     import runpy
@@ -211,6 +300,34 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="repro.trace.json", help="trace file path"
     )
 
+    p_torture = sub.add_parser(
+        "torture",
+        help="seeded workload×fault torture sweeps with invariant checkers",
+    )
+    p_torture.add_argument(
+        "--arch",
+        action="append",
+        help="architecture to torture (repeatable; default: direct-pnfs, "
+        "pnfs-2tier)",
+    )
+    p_torture.add_argument("--seeds", type=int, default=25, help="seed budget")
+    p_torture.add_argument("--start-seed", type=int, default=0)
+    p_torture.add_argument(
+        "--replay", type=int, help="replay one seed instead of sweeping"
+    )
+    p_torture.add_argument(
+        "--shrink",
+        action="store_true",
+        help="with --replay: print the minimal failing program",
+    )
+    p_torture.add_argument(
+        "--buggy-writeback",
+        action="store_true",
+        help="reintroduce the pre-fix silent write-back loss "
+        "(demonstrates checker power)",
+    )
+    p_torture.add_argument("--json", help="write failing programs as JSON")
+
     sub.add_parser("quickstart", help="run the quickstart demo")
 
     args = parser.parse_args(argv)
@@ -220,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
         "cell": _cmd_cell,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
+        "torture": _cmd_torture,
         "quickstart": _cmd_quickstart,
     }[args.command]
     return handler(args)

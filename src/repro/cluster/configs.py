@@ -245,12 +245,14 @@ def make_deployment(
     nfs_overrides: dict | None = None,
     pvfs_overrides: dict | None = None,
     net_model: str = "chunked",
+    seed: int | None = None,
 ) -> Deployment:
     """Build the named architecture on a fresh testbed.
 
     ``net_model`` selects the network flow model (``"chunked"`` |
     ``"fluid"`` | ``"auto"``, see :mod:`repro.sim.network`); the
-    calibrated default stays ``"chunked"``.
+    calibrated default stays ``"chunked"``.  ``seed`` initialises the
+    testbed's simulator (identical-seed deployments replay identically).
     """
     try:
         builder = ARCHITECTURES[arch]
@@ -260,6 +262,10 @@ def make_deployment(
         ) from None
     disks = (0, 0, 0, 2, 2, 2) if arch == "pnfs-3tier" else (1, 1, 1, 1, 1, 1)
     tb = Testbed(
-        n_clients=n_clients, net_bw=net_bw, server_disks=disks, net_model=net_model
+        n_clients=n_clients,
+        net_bw=net_bw,
+        server_disks=disks,
+        net_model=net_model,
+        seed=seed,
     )
     return builder(tb, nfs_overrides=nfs_overrides, pvfs_overrides=pvfs_overrides)

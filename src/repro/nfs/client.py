@@ -156,8 +156,18 @@ class Nfs4Client(FileSystemClient):
     # -- open-file state ---------------------------------------------------
     def _init_state(self, f: OpenFile, fh, size: int, attrs=None) -> None:
         cache, valid = FileData(), IntervalSet()
+        dirty, commit_needed = IntervalSet(), False
         entry = self._inode_cache.get(fh)
-        if entry is not None and attrs is not None:
+        if entry is not None and entry.get("dirty"):
+            # Unflushed dirty pages (a previous close's flush failed and
+            # re-dirtied them) pin the whole page cache: revalidation
+            # must not discard data the client still owes the server.
+            cache, valid = entry["cache"], entry["valid"]
+            dirty = entry.pop("dirty")
+            commit_needed = entry.pop("commit_needed", False)
+            # An unflushed extending write makes the server size stale.
+            size = max(size, entry["size"])
+        elif entry is not None and attrs is not None:
             # Close-to-open revalidation: reuse the cached pages when
             # the attributes say the file has not changed.  When this
             # client wrote the file itself, the server mtime is unknown
@@ -172,13 +182,13 @@ class Nfs4Client(FileSystemClient):
             size=size,
             cache=cache,
             valid=valid,
-            dirty=IntervalSet(),
+            dirty=dirty,
             flushing=IntervalSet(),
             inflight=[],
             ra=[],
             ra_issued=IntervalSet(),
             wb_error=None,
-            commit_needed=False,
+            commit_needed=commit_needed,
             last_read_end=None,
             open_mtime=attrs.mtime if attrs is not None else None,
             wrote=False,
@@ -390,14 +400,25 @@ class Nfs4Client(FileSystemClient):
         f.state["inflight"].append(proc)
 
     def _flush_full_blocks(self, f: OpenFile) -> None:
-        """Kick async WRITEs for every full wsize-aligned dirty block."""
+        """Kick async WRITEs for every full wsize-aligned dirty block.
+
+        A byte already under write-back is never flushed again until
+        that write-back completes (Linux PageWriteback semantics): two
+        in-flight WRITEs covering the same range can be executed by the
+        server in either order, so the one carrying older data may win
+        — found by the torture harness as seed 146's silent reordering
+        loss.  Deferred bytes stay dirty; fsync's flush loop (or the
+        next full-block pass) picks them up once the range clears.
+        """
         wsize = self.cfg.wsize
+        flushing = f.state["flushing"]
         for s, e in list(f.state["dirty"]):
             first = ((s + wsize - 1) // wsize) * wsize
             last = (e // wsize) * wsize
             pos = first
             while pos < last:
-                self._spawn_writeback(f, pos, pos + wsize)
+                if flushing.gaps(pos, pos + wsize) == [(pos, pos + wsize)]:
+                    self._spawn_writeback(f, pos, pos + wsize)
                 pos += wsize
 
     def write(self, f: OpenFile, offset: int, payload: Payload):
@@ -437,16 +458,30 @@ class Nfs4Client(FileSystemClient):
 
     def _fsync_impl(self, f: OpenFile):
         state = f.state
-        # Flush every remaining dirty run in ≤ wsize slices.
-        for s, e in list(state["dirty"]):
-            pos = s
-            while pos < e:
-                length = min(self.cfg.wsize, e - pos)
-                self._spawn_writeback(f, pos, pos + length)
-                pos += length
-        while state["inflight"]:
-            procs, state["inflight"] = state["inflight"], []
-            yield self.sim.all_of(procs)
+        # Flush every remaining dirty run in ≤ wsize slices — except
+        # bytes already under write-back, which are deferred until the
+        # in-flight WRITE completes (same-range WRITEs must never race:
+        # the server may apply them in either order).  Loop until
+        # nothing is dirty or in flight, or a write-back error latches
+        # (the failed ranges are re-dirtied; retrying them within this
+        # fsync would spin against a dead server).
+        while True:
+            plan: list[tuple[int, int]] = []
+            for s, e in list(state["dirty"]):
+                plan.extend(state["flushing"].gaps(s, e))
+            for s, e in plan:
+                pos = s
+                while pos < e:
+                    length = min(self.cfg.wsize, e - pos)
+                    self._spawn_writeback(f, pos, pos + length)
+                    pos += length
+            if not state["inflight"]:
+                break
+            while state["inflight"]:
+                procs, state["inflight"] = state["inflight"], []
+                yield self.sim.all_of(procs)
+            if state["wb_error"] is not None:
+                break
         err = state["wb_error"]
         if err is not None:
             # Surface the latched write-back failure (errseq semantics:
@@ -460,21 +495,33 @@ class Nfs4Client(FileSystemClient):
             state["commit_needed"] = False
 
     def close(self, f: OpenFile):
-        yield from self.fsync(f)
+        try:
+            yield from self.fsync(f)
+        finally:
+            # Retain the pages for close-to-open reuse — *including* any
+            # ranges a failed flush re-dirtied.  Dirty pages belong to
+            # the inode, not the fd (Linux: the address_space outlives
+            # every open): when the flush above fails, close reports the
+            # error, but the data must survive so a later open of the
+            # same file re-flushes it once the server recovers.  Before
+            # this, the re-dirtied ranges died with the abandoned
+            # OpenFile and a post-reopen fsync reported clean — torture
+            # seed 65 (write, reopen during a long outage, fsync).
+            self._inode_cache[f.state["fh"]] = {
+                "cache": f.state["cache"],
+                "valid": f.state["valid"],
+                "size": f.state["size"],
+                "mtime": f.state["open_mtime"],
+                "own_writes": f.state["wrote"],
+                "dirty": f.state["dirty"],
+                "commit_needed": f.state["commit_needed"],
+            }
         if not f.state.get("local_open"):
             yield from self._call(
                 "close",
                 {"fh": f.state["fh"], "write": f.state.get("open_write", True)},
             )
         self._attr_cache.pop(f.path, None)
-        # Retain the page cache for close-to-open reuse.
-        self._inode_cache[f.state["fh"]] = {
-            "cache": f.state["cache"],
-            "valid": f.state["valid"],
-            "size": f.state["size"],
-            "mtime": f.state["open_mtime"],
-            "own_writes": f.state["wrote"],
-        }
         f.closed = True
 
     # -- metadata --------------------------------------------------------------

@@ -41,16 +41,36 @@ class LockRange:
         return self.start < end and start < self.end
 
 
+#: Shared empty table returned to read-only paths: querying a never-
+#: locked filehandle must not materialise per-fh state.
+_NO_LOCKS: tuple = ()
+
+
 class LockManager:
-    """Per-filehandle byte-range lock tables."""
+    """Per-filehandle byte-range lock tables.
+
+    Tables exist only while at least one lock is held on the
+    filehandle: read paths (``test``/``held``) never create one, and
+    ``unlock``/``release_owner`` prune tables they empty — otherwise
+    open/lock/close churn over a server's lifetime grows ``_locks``
+    without bound.
+    """
 
     def __init__(self):
         self._locks: dict[object, list[LockRange]] = {}
         self.granted = 0
         self.conflicts = 0
 
-    def _table(self, fh) -> list[LockRange]:
-        return self._locks.setdefault(fh, [])
+    def _table(self, fh):
+        """Read-only view of the locks on ``fh`` (never mutates)."""
+        return self._locks.get(fh, _NO_LOCKS)
+
+    def _store(self, fh, table: list[LockRange]) -> None:
+        """Replace ``fh``'s table, dropping it when it emptied."""
+        if table:
+            self._locks[fh] = table
+        else:
+            self._locks.pop(fh, None)
 
     @staticmethod
     def _validate(start: int, end: int, kind: str) -> None:
@@ -82,10 +102,9 @@ class LockManager:
                 f"[{start},{end}) {kind} conflicts with {conflict.kind} "
                 f"[{conflict.start},{conflict.end}) held by {conflict.owner!r}"
             )
-        table = self._table(fh)
         # Carve the owner's own overlapping locks out of the new range.
         remaining: list[LockRange] = []
-        for lock in table:
+        for lock in self._table(fh):
             if lock.owner != owner or not lock.overlaps(start, end):
                 remaining.append(lock)
                 continue
@@ -114,18 +133,27 @@ class LockManager:
                 remaining.append(LockRange(owner, lock.start, start, lock.kind))
             if lock.end > end:
                 remaining.append(LockRange(owner, end, lock.end, lock.kind))
-        self._locks[fh] = remaining
+        self._store(fh, remaining)
         return freed
 
     def release_owner(self, owner) -> int:
         """Drop every lock of ``owner`` (close / lease expiry); returns count."""
         dropped = 0
-        for fh, table in self._locks.items():
+        for fh, table in list(self._locks.items()):
             kept = [lock for lock in table if lock.owner != owner]
             dropped += len(table) - len(kept)
-            self._locks[fh] = kept
+            self._store(fh, kept)
         return dropped
 
     def held(self, fh) -> Iterable[LockRange]:
         """Snapshot of the locks on ``fh``."""
         return tuple(self._table(fh))
+
+    @property
+    def table_count(self) -> int:
+        """Number of per-filehandle tables currently materialised."""
+        return len(self._locks)
+
+    def snapshot(self) -> dict:
+        """Immutable snapshot of every table (invariant checkers)."""
+        return {fh: tuple(table) for fh, table in self._locks.items()}

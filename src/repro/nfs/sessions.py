@@ -27,14 +27,21 @@ from repro.sim.resources import Resource
 
 __all__ = ["Session"]
 
-_session_ids = itertools.count(1)
-
 
 class Session:
     """One client↔server NFSv4.1 session."""
 
+    #: Process-wide instrumentation switch (torture harness): when True,
+    #: sessions record how many times each sequence id actually executed
+    #: server-side, so an invariant checker can prove exactly-once.  Off
+    #: by default — benchmarks pay nothing.
+    TRACK_EXECUTIONS = False
+
     def __init__(self, sim: Simulator, slots: int, name: str = ""):
-        self.sessionid = next(_session_ids)
+        # Session ids come from the simulation's own id stream, so a
+        # replayed run hands out identical ids no matter how many other
+        # simulations ran earlier in this process.
+        self.sessionid = sim.next_id("session")
         self.slots = Resource(sim, slots, name=name or f"session{self.sessionid}")
         self.highest_used = 0
         self._seq = itertools.count(1)
@@ -42,6 +49,12 @@ class Session:
         self._replay: dict[int, tuple] = {}
         #: Reply-cache hits observed on this session.
         self.replays = 0
+        #: Executions per seq (only populated when ``TRACK_EXECUTIONS``).
+        self.executed: dict[int, int] = {}
+        #: Sequence ids the server ran more than once — an exactly-once
+        #: violation (the reply cache failed to suppress a retransmitted
+        #: non-idempotent op).
+        self.duplicate_executions = 0
 
     # -- slot table --------------------------------------------------------
     def slot(self):
@@ -68,6 +81,15 @@ class Session:
         """Allocate a sequence id for one logical request (all of its
         retransmissions carry the same id)."""
         return next(self._seq)
+
+    def note_execution(self, seq: int) -> None:
+        """The server is about to *execute* (not replay) ``seq``."""
+        if not Session.TRACK_EXECUTIONS:
+            return
+        n = self.executed.get(seq, 0) + 1
+        self.executed[seq] = n
+        if n > 1:
+            self.duplicate_executions += 1
 
     def cache_reply(
         self, seq: int, result: Any, payload: Any, error: Optional[Exception]

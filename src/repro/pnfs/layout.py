@@ -8,12 +8,9 @@ valid until returned or recalled.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 __all__ = ["FileLayout"]
-
-_layout_stateids = itertools.count(1)
 
 
 @dataclass
@@ -35,7 +32,11 @@ class FileLayout:
     aggregation: dict
     policy: dict = field(default_factory=dict)
     commit_through_mds: bool = False
-    stateid: int = field(default_factory=lambda: next(_layout_stateids))
+    #: Assigned by the issuing metadata server from its simulation's id
+    #: stream (``Simulator.next_id``); 0 means "not yet issued".  Ids
+    #: must never come from process-global state: replayed runs have to
+    #: hand out identical stateids.
+    stateid: int = 0
 
     def __post_init__(self):
         if len(self.device_slots) != len(self.fhs):

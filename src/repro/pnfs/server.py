@@ -70,6 +70,11 @@ class PnfsMetadataServer(Nfs4Server):
     def _h_layoutget(self, args, payload):
         fh = args["fh"]
         layout = yield from self.layout_provider.get_layout(fh, args.get("path", ""))
+        if layout.stateid == 0:
+            # Stamp freshly minted layouts from the simulation's own id
+            # stream (providers may also return cached, already-issued
+            # layouts, which keep their stateid).
+            layout.stateid = self.sim.next_id("layout-stateid")
         self._issued.setdefault(fh, []).append((layout, args.get("callback")))
         self.layouts_granted += 1
         return {"layout": layout}, None

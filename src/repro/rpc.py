@@ -324,6 +324,8 @@ def _attempt_body(
             result, reply_payload, error = cached
             server.calls_replayed += 1
         else:
+            if session is not None and seq is not None:
+                session.note_execution(seq)
             col = obs_spans.ACTIVE
             hspan = (
                 col.begin(f"handle:{proc}", "server", server.node.name)

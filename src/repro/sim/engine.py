@@ -456,9 +456,21 @@ class Simulator:
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         self.stats = EngineStats()
+        #: Per-simulation id streams (sessions, layout stateids, ...).
+        #: Keeping these on the simulator — never module-global — makes
+        #: identical-seed runs produce identical ids regardless of how
+        #: many simulations ran earlier in the process (the same-seed-
+        #: same-trace guarantee the torture replayer depends on).
+        self._ids: dict[str, int] = {}
         import numpy as _np
 
         self.rng = _np.random.default_rng(seed)
+
+    def next_id(self, kind: str) -> int:
+        """Allocate the next id (1, 2, ...) from this sim's ``kind`` stream."""
+        n = self._ids.get(kind, 0) + 1
+        self._ids[kind] = n
+        return n
 
     # -- event constructors ---------------------------------------------
     def event(self) -> Event:

@@ -184,3 +184,49 @@ class TestWireProtocol:
             return "freed"
 
         assert drive(cluster.sim, scenario()) == "freed"
+
+
+class TestLockTableBounded:
+    """Regression: read paths must not materialise per-fh tables.
+
+    ``test``/``unlock``/``held`` used ``setdefault`` and so inserted an
+    empty table for every filehandle ever *queried*; ``release_owner``
+    left empty per-fh lists behind.  Over open/lock/close churn the
+    table count must stay bounded by the number of filehandles with
+    live locks.
+    """
+
+    def test_read_paths_do_not_materialise_tables(self):
+        lm = LockManager()
+        for i in range(100):
+            assert lm.test(f"fh{i}", "o", 0, 10, WRITE_LT) is None
+            assert lm.held(f"fh{i}") == ()
+            assert lm.unlock(f"fh{i}", "o", 0, 10) == 0
+        assert lm.table_count == 0
+
+    def test_unlock_prunes_emptied_table(self):
+        lm = LockManager()
+        lm.lock("fh", "o", 0, 10, WRITE_LT)
+        assert lm.table_count == 1
+        lm.unlock("fh", "o", 0, 10)
+        assert lm.table_count == 0
+
+    def test_release_owner_prunes_emptied_tables(self):
+        lm = LockManager()
+        for i in range(8):
+            lm.lock(f"fh{i}", "o", 0, 10, WRITE_LT)
+        lm.lock("shared", "o", 0, 10, READ_LT)
+        lm.lock("shared", "p", 20, 30, READ_LT)
+        assert lm.release_owner("o") == 9
+        assert lm.table_count == 1  # only "shared" (p's lock) survives
+
+    def test_open_lock_close_churn_stays_bounded(self):
+        lm = LockManager()
+        for round_ in range(50):
+            fh = f"fh{round_}"
+            lm.test(fh, "o", 0, 10, WRITE_LT)
+            lm.lock(fh, "o", 0, 10, WRITE_LT)
+            lm.held(fh)
+            lm.release_owner("o")
+            assert lm.table_count <= 1
+        assert lm.table_count == 0

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro import rpc as rpc_mod
 from repro.nfs import Nfs4Client, Nfs4Server, NfsConfig
-from repro.vfs import Payload
+from repro.sim import FaultInjector
+from repro.vfs import FsError, Payload
 from repro.vfs.localfs import LocalClient, LocalFileSystem
 
 from tests.conftest import build_cluster, drive
@@ -83,6 +85,55 @@ class TestWriteBackAlignment:
         drive(cluster.sim, scenario())
         entry = backing.namespace.resolve("/rw")
         assert backing.contents[entry.handle].read(0, 64 * KB).data == b"B" * 64 * KB
+
+
+class TestCloseErrorSemantics:
+    def test_dirty_pages_survive_failed_close(self, cluster):
+        """A close whose flush fails must report the error *and* keep
+        the re-dirtied pages in the inode cache, so a later open of the
+        same file re-flushes them once the server recovers (torture
+        seed 65: write → reopen during an outage → post-heal fsync
+        reported clean while the data was gone)."""
+        client, server, backing = make(
+            cluster, rpc_timeout=0.2, rpc_max_retries=1, rpc_backoff=1.0
+        )
+        inj = FaultInjector(cluster.sim)
+
+        def scenario():
+            f = yield from client.create("/c2o")
+            yield from client.write(f, 0, Payload(b"X" * 10 * KB))
+            inj.outage(server.rpc, start=cluster.sim.now, duration=2.0)
+            try:
+                yield from client.close(f)
+            except (FsError, rpc_mod.RpcTimeout):
+                closed_with_error = True
+            else:
+                closed_with_error = False
+            yield cluster.sim.timeout(3.0)  # outage heals
+            f2 = yield from client.open("/c2o")
+            yield from client.fsync(f2)
+            yield from client.close(f2)
+            return closed_with_error
+
+        assert drive(cluster.sim, scenario())
+        entry = backing.namespace.resolve("/c2o")
+        assert backing.contents[entry.handle].read(0, 10 * KB).data == b"X" * 10 * KB
+
+    def test_clean_close_does_not_adopt_stale_dirty_state(self, cluster):
+        """The dirty set retained by a clean close is empty: a reopen
+        must start with nothing to flush."""
+        client, _server, _backing = make(cluster)
+
+        def scenario():
+            f = yield from client.create("/clean")
+            yield from client.write(f, 0, Payload(b"Y" * 4 * KB))
+            yield from client.close(f)
+            f2 = yield from client.open("/clean")
+            return f2
+
+        f2 = drive(cluster.sim, scenario())
+        assert not f2.state["dirty"]
+        assert not f2.state["commit_needed"]
 
 
 class TestReadaheadBehaviour:

@@ -16,13 +16,31 @@ class TestFileLayout:
             aggregation={"type": "round_robin", "nslots": 3, "stripe_unit": 1024},
         )
         assert lo.ndevices == 3
-        assert lo.stateid > 0
+        # Stateids come from the issuing MDS, not construction: a bare
+        # layout is "not yet issued".
+        assert lo.stateid == 0
 
-    def test_stateids_unique(self):
+    def test_stateids_unique_once_issued(self):
+        sim = Simulator(seed=7)
         mk = lambda: FileLayout(
             device_slots=[0], fhs=[1], aggregation={"type": "round_robin"}
         )
-        assert mk().stateid != mk().stateid
+        issued = []
+        for _ in range(3):
+            lo = mk()
+            lo.stateid = sim.next_id("layout-stateid")
+            issued.append(lo.stateid)
+        assert len(set(issued)) == 3
+        assert all(s > 0 for s in issued)
+
+    def test_stateids_replay_identically(self):
+        # Two same-seed simulators hand out the same stateid stream —
+        # the property the process-global counter could not provide.
+        streams = []
+        for _ in range(2):
+            sim = Simulator(seed=7)
+            streams.append([sim.next_id("layout-stateid") for _ in range(4)])
+        assert streams[0] == streams[1] == [1, 2, 3, 4]
 
     def test_mismatched_fhs_rejected(self):
         with pytest.raises(ValueError):
