@@ -10,6 +10,13 @@ Scale: set ``REPRO_SCALE`` (default 0.25 — 125 MB IOR files) to trade
 run time against steady-state fidelity; 1.0 reproduces the paper's full
 500 MB-per-client runs.  Client counts default to {1, 2, 4, 8} (the
 paper sweeps 1-8); set ``REPRO_FULL_SWEEP=1`` for every count.
+
+Parallelism: ``REPRO_JOBS=N`` fans each panel's cells over N worker
+processes (results are identical whatever N is — the cells are pure
+functions of their specs).  ``REPRO_CACHE=1`` enables the content-
+addressed result cache so unchanged panels are free to re-run; the
+cache key includes a fingerprint of every ``repro`` source file, so any
+code edit invalidates it.
 """
 
 import json
@@ -41,6 +48,20 @@ def bench_net_model() -> str:
     return model
 
 
+def bench_jobs() -> int:
+    """Worker processes per panel sweep (``REPRO_JOBS``, default 1)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+def bench_cache():
+    """Shared result cache when ``REPRO_CACHE=1`` (else ``None``)."""
+    if not os.environ.get("REPRO_CACHE"):
+        return None
+    from repro.parallel import ResultCache
+
+    return ResultCache()
+
+
 def bench_counts(exp_id: str) -> list[int] | None:
     exp = EXPERIMENTS[exp_id]
     if os.environ.get("REPRO_FULL_SWEEP") or len(exp.client_counts) <= 4:
@@ -61,6 +82,8 @@ def run_panel(benchmark):
                 scale=bench_scale(),
                 client_counts=bench_counts(exp_id),
                 net_model=bench_net_model(),
+                jobs=bench_jobs(),
+                cache=bench_cache(),
             )
 
         benchmark.pedantic(once, rounds=1, iterations=1)
@@ -92,6 +115,7 @@ def run_panel(benchmark):
                     "scale": res.scale,
                     "values": res.values,
                     "engine": engine,
+                    "parallel": res.parallel,
                     "checks": [
                         {"name": c.name, "ok": c.ok, "detail": c.detail}
                         for c in checks

@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
 # Regenerate every figure panel + ablations, record results, and
 # rebuild EXPERIMENTS.md.  Scale via REPRO_SCALE (default 0.25).
+#
+# Panel cells fan out over REPRO_JOBS worker processes (default: all
+# cores) via repro.parallel; results are identical to a serial run.
+# Set REPRO_CACHE=1 to reuse cells whose (spec, code-fingerprint) key
+# is already in the content-addressed cache (.repro-cache/ or
+# REPRO_CACHE_DIR).
 set -uo pipefail
 cd "$(dirname "$0")/.."
+
+export REPRO_JOBS="${REPRO_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 
 python -m pytest benchmarks/ --benchmark-only -q 2>&1 | tee bench_output.txt
 python scripts/update_experiments.py

@@ -70,6 +70,10 @@ class ExperimentResult:
     scale: float
     values: dict[str, dict[int, float]]
     raw: dict[tuple[str, int], RunResult] = field(default_factory=dict)
+    #: Batch cost telemetry (``EngineReport.as_dict()``): workers,
+    #: cache hits, per-cell wall seconds.  Timing only — never part of
+    #: the deterministic result content.
+    parallel: dict = field(default_factory=dict)
 
 
 def _ior(op: str, block: int, shared: bool):
@@ -207,30 +211,44 @@ def run_experiment(
     client_counts: list[int] | None = None,
     systems: list[str] | None = None,
     net_model: str = "chunked",
+    jobs: int = 1,
+    cache=None,
+    progress=None,
 ) -> ExperimentResult:
     """Run one figure panel's sweep and collect the metric values.
 
     ``net_model`` selects the network flow model for every cell
     (``"chunked"`` | ``"fluid"`` | ``"auto"``); the calibrated figures
     use the default ``"chunked"``.
+
+    ``jobs`` fans the (system, client-count) cells over that many
+    worker processes via :mod:`repro.parallel`; every cell is a pure
+    function of its spec, so the sweep's values are identical whatever
+    ``jobs`` is.  ``cache`` (a :class:`repro.parallel.ResultCache`)
+    skips cells whose spec + code fingerprint already have a stored
+    result.  ``progress(spec, result, wall, cached)`` is called per
+    finished cell — see :class:`repro.parallel.ProgressReporter`.
     """
+    from repro.parallel import figure_cell_spec, run_jobs
+
     exp = EXPERIMENTS[exp_id]
     counts = client_counts or exp.client_counts
     chosen = systems or exp.systems
-    values: dict[str, dict[int, float]] = {}
+    pairs = [(system, n) for system in chosen for n in counts]
+    specs = [
+        figure_cell_spec(exp_id, system, n, scale, net_model)
+        for system, n in pairs
+    ]
+    results, report = run_jobs(specs, jobs=jobs, cache=cache, progress=progress)
+    values: dict[str, dict[int, float]] = {system: {} for system in chosen}
     raw: dict[tuple[str, int], RunResult] = {}
-    for system in chosen:
-        values[system] = {}
-        for n in counts:
-            result = run_cell(
-                system,
-                exp.workload(scale * exp.scale_factor),
-                n,
-                net_bw=exp.net_bw,
-                nfs_overrides=exp.nfs_overrides or None,
-                pvfs_overrides=exp.pvfs_overrides or None,
-                net_model=net_model,
-            )
-            values[system][n] = exp.value_of(result)
-            raw[(system, n)] = result
-    return ExperimentResult(experiment=exp, scale=scale, values=values, raw=raw)
+    for (system, n), result in zip(pairs, results):
+        values[system][n] = exp.value_of(result)
+        raw[(system, n)] = result
+    return ExperimentResult(
+        experiment=exp,
+        scale=scale,
+        values=values,
+        raw=raw,
+        parallel=report.as_dict(),
+    )

@@ -7,12 +7,22 @@ are what EXPERIMENTS.md records and what the benchmark suite asserts.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 from repro.bench.experiments import ExperimentResult
 from repro.bench.paper_data import PAPER
 
-__all__ = ["ShapeCheck", "format_metrics", "format_table", "shape_checks"]
+__all__ = [
+    "ShapeCheck",
+    "canonical_json",
+    "experiment_report",
+    "format_metrics",
+    "format_table",
+    "result_hash",
+    "shape_checks",
+]
 
 
 @dataclass
@@ -95,6 +105,67 @@ def format_metrics(result) -> str:
         f"  sampler: {n_samples} samples at {m['series']['interval']}s intervals"
     )
     return "\n".join(lines)
+
+
+def canonical_json(obj) -> str:
+    """Stable serialisation: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def result_hash(report: dict) -> str:
+    """sha256 of a report's deterministic content.
+
+    ``result_hash`` and ``timing`` keys are excluded: the hash covers
+    only what the simulation computed, never how long or with how many
+    workers the host computed it — this is the value the parallel-
+    equals-serial CI gate compares.
+    """
+    clean = {k: v for k, v in report.items() if k not in ("result_hash", "timing")}
+    return hashlib.sha256(canonical_json(clean).encode()).hexdigest()
+
+
+def experiment_report(res: ExperimentResult) -> dict:
+    """JSON-able sweep report with only deterministic content.
+
+    Everything here is a pure function of the experiment spec: values,
+    per-cell makespans/bytes/event counts, shape-check verdicts, and a
+    ``result_hash`` over all of it.  Wall-clock and worker telemetry
+    belong in a separate ``timing`` section (``ExperimentResult.
+    parallel``) that callers may attach *after* hashing.
+    """
+    exp = res.experiment
+    cells = [
+        {
+            "system": system,
+            "n_clients": n,
+            "value": exp.value_of(r),
+            "makespan": r.makespan,
+            "total_bytes": r.total_bytes,
+            "events_processed": int(r.engine.get("events_processed", 0))
+            if r.engine
+            else 0,
+        }
+        for (system, n), r in sorted(res.raw.items())
+    ]
+    report = {
+        "experiment": exp.id,
+        "title": exp.title,
+        "metric": exp.metric,
+        "scale": res.scale,
+        "values": res.values,
+        "cells": cells,
+    }
+    try:
+        report["checks"] = [
+            {"name": c.name, "ok": c.ok, "detail": c.detail}
+            for c in shape_checks(res)
+        ]
+    except KeyError:
+        # Restricted sweep (subset of systems/counts): the shape
+        # criteria need the full panel, so a partial run records none.
+        report["checks"] = []
+    report["result_hash"] = result_hash(report)
+    return report
 
 
 def _at(res: ExperimentResult, system: str, n: int) -> float:

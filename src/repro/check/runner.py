@@ -426,19 +426,49 @@ def sweep(
     start_seed: int = 0,
     client_factory=None,
     progress=None,
+    jobs: int = 1,
+    cache=None,
 ) -> list[EpisodeResult]:
     """Run ``seeds`` consecutive seeds against each architecture.
 
     Returns every result (failing and passing); callers filter.  The
     program for a seed is shared across architectures — the same
-    workload must hold up everywhere.
+    workload must hold up everywhere.  ``progress(result, wall_seconds,
+    cached)`` is called once per finished episode.
+
+    ``jobs`` fans the (seed, arch) episodes over worker processes via
+    :mod:`repro.parallel`; every episode is a pure function of its
+    seed, so the result list — including each episode's ``trace_hash``
+    — is identical whatever ``jobs`` is.  Parallel runs only support
+    the stock client factory or :func:`buggy_writeback_factory`
+    (workers rebuild it from a flag; arbitrary callables don't pickle),
+    so any other ``client_factory`` forces the serial path.
     """
-    results = []
-    for seed in range(start_seed, start_seed + seeds):
-        program = generate(seed)
-        for arch in arches:
-            res = run_episode(program, arch, client_factory=client_factory)
-            results.append(res)
-            if progress is not None:
-                progress(res)
+    if client_factory is not None and client_factory is not buggy_writeback_factory:
+        jobs = 1
+    if jobs <= 1 and cache is None:
+        results = []
+        for seed in range(start_seed, start_seed + seeds):
+            program = generate(seed)
+            for arch in arches:
+                res = run_episode(program, arch, client_factory=client_factory)
+                results.append(res)
+                if progress is not None:
+                    progress(res, 0.0, False)
+        return results
+
+    from repro.parallel import run_jobs, torture_spec
+
+    buggy = client_factory is buggy_writeback_factory
+    specs = [
+        torture_spec(seed, arch, buggy_writeback=buggy)
+        for seed in range(start_seed, start_seed + seeds)
+        for arch in arches
+    ]
+    wrapped = None
+    if progress is not None:
+
+        def wrapped(spec, res, wall, cached):
+            progress(res, wall, cached)
+    results, _report = run_jobs(specs, jobs=jobs, cache=cache, progress=wrapped)
     return results

@@ -4,15 +4,22 @@ Subcommands::
 
     python -m repro list                         # architectures & experiments
     python -m repro run fig7a --scale 0.1        # regenerate a figure panel
+    python -m repro run fig7a --jobs 8 --cache \\
+        --json fig7a.json                        # parallel + cached sweep
     python -m repro cell direct-pnfs ior-write \\
         --clients 4 --scale 0.2                  # one (arch, workload) cell
     python -m repro metrics direct-pnfs ior-write \\
         --clients 4 --json out.json              # cell + metrics/utilisation
     python -m repro trace direct-pnfs ior-write \\
         --out run.trace.json                     # cell + Perfetto trace
-    python -m repro torture --seeds 50           # invariant-checked sweeps
+    python -m repro profile direct-pnfs ior-write \\
+        --clients 4 --top 25                     # cProfile one cell
+    python -m repro torture --seeds 50 --jobs 8  # invariant-checked sweeps
     python -m repro torture --replay 7 --shrink  # minimal failing program
     python -m repro quickstart                   # the quickstart demo
+
+Progress/ETA lines always go to stderr; results (tables, JSON with
+``--json -``) own stdout.
 """
 
 from __future__ import annotations
@@ -41,21 +48,53 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.bench.experiments import run_experiment
-    from repro.bench.report import format_table, shape_checks
+    import json
+
+    from repro.bench.experiments import EXPERIMENTS, run_experiment
+    from repro.bench.report import experiment_report, format_table, shape_checks
+    from repro.parallel import ProgressReporter, ResultCache, default_jobs, describe
 
     counts = [int(c) for c in args.clients.split(",")] if args.clients else None
-    result = run_experiment(args.experiment, scale=args.scale, client_counts=counts)
-    print(format_table(result))
+    jobs = default_jobs(args.jobs)
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    exp = EXPERIMENTS[args.experiment]
+    total = len(exp.systems) * len(counts or exp.client_counts)
+    reporter = ProgressReporter(total, label="cells")
+    result = run_experiment(
+        args.experiment,
+        scale=args.scale,
+        client_counts=counts,
+        jobs=jobs,
+        cache=cache,
+        progress=lambda spec, res, wall, cached: reporter.update(
+            describe(spec), wall, cached
+        ),
+    )
+    reporter.close()
+
+    # Human-readable output moves to stderr when the JSON document owns
+    # stdout (`--json -`): stdout stays machine-parseable either way.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    print(format_table(result), file=out)
     if args.chart:
         from repro.bench.charts import render_series
 
-        print()
-        print(render_series(result))
+        print(file=out)
+        print(render_series(result), file=out)
     ok = True
     for check in shape_checks(result):
-        print("  ", check)
+        print("  ", check, file=out)
         ok = ok and check.ok
+    if args.json:
+        report = experiment_report(result)
+        report["timing"] = result.parallel  # wall-clock: outside the hash
+        text = json.dumps(report, indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json}", file=out)
     return 0 if ok else 1
 
 
@@ -159,6 +198,69 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """cProfile one cell: where do the simulation's cycles actually go?
+
+    Prints the top-N functions by cumulative time (the measurement
+    future perf PRs should quote); ``--json`` dumps them machine-
+    readable, ``--json -`` to stdout with the human report on stderr.
+    """
+    import cProfile
+    import io
+    import json
+    import pstats
+
+    from repro.bench.runner import run_cell
+
+    workload = _WORKLOADS[args.workload](args.scale)
+    prof = cProfile.Profile()
+    prof.enable()
+    result = run_cell(args.arch, workload, n_clients=args.clients)
+    prof.disable()
+
+    out = sys.stderr if args.json == "-" else sys.stdout
+    print(
+        f"{args.arch} / {args.workload} @ {args.clients} clients "
+        f"(scale {args.scale}): {result.makespan:.3f} s sim makespan, "
+        f"{result.aggregate_mbps:.1f} MB/s",
+        file=out,
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(prof, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(stream.getvalue().rstrip(), file=out)
+
+    if args.json:
+        rows = [
+            {
+                "function": f"{path}:{line}({name})",
+                "ncalls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+            for (path, line, name), (cc, nc, tt, ct, _callers) in stats.stats.items()
+        ]
+        rows.sort(key=lambda r: r["cumtime"], reverse=True)
+        payload = json.dumps(
+            {
+                "arch": args.arch,
+                "workload": args.workload,
+                "n_clients": args.clients,
+                "scale": args.scale,
+                "makespan": result.makespan,
+                "top": rows[: args.top],
+            },
+            indent=2,
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}", file=out)
+    return 0
+
+
 def _cmd_torture(args) -> int:
     """Seeded torture sweeps, replay, and shrinking (repro.check)."""
     import json
@@ -203,17 +305,29 @@ def _cmd_torture(args) -> int:
                 print(f"wrote {args.json}")
         return 1
 
-    failures = []
-    for seed in range(args.start_seed, args.start_seed + args.seeds):
-        program = generate(seed)
-        for arch in arches:
-            res = run_episode(program, arch, client_factory=factory)
-            if res.violations:
-                failures.append(res)
-                print(f"FAIL seed {seed} / {arch}:")
-                for v in res.violations:
-                    print(f"  - {v}")
+    from repro.check.runner import sweep
+    from repro.parallel import ProgressReporter, default_jobs
+
     total = args.seeds * len(arches)
+    reporter = ProgressReporter(total, label="episodes")
+
+    def progress(res, wall, cached):
+        reporter.update(f"seed {res.seed} / {res.arch}", wall, cached)
+        if res.violations:
+            reporter.note(f"FAIL seed {res.seed} / {res.arch}:")
+            for v in res.violations:
+                reporter.note(f"  - {v}")
+
+    results = sweep(
+        arches,
+        args.seeds,
+        start_seed=args.start_seed,
+        client_factory=factory,
+        progress=progress,
+        jobs=default_jobs(args.jobs),
+    )
+    reporter.close()
+    failures = [r for r in results if r.violations]
     print(
         f"{total - len(failures)}/{total} episodes clean "
         f"(seeds {args.start_seed}..{args.start_seed + args.seeds - 1}, "
@@ -269,6 +383,26 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--clients", help="comma-separated counts, e.g. 1,4,8")
     p_run.add_argument(
         "--chart", action="store_true", help="also render an ASCII bar chart"
+    )
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes for the cell fan-out (default: REPRO_JOBS or 1; "
+        "results are identical whatever the value)",
+    )
+    p_run.add_argument(
+        "--cache",
+        action="store_true",
+        help="skip cells already in the content-addressed result cache",
+    )
+    p_run.add_argument(
+        "--cache-dir",
+        help="cache root (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_run.add_argument(
+        "--json",
+        help="write the deterministic result report as JSON "
+        "('-' for stdout; progress and tables then move to stderr)",
     )
 
     p_cell = sub.add_parser("cell", help="run one (architecture, workload) cell")
@@ -327,6 +461,26 @@ def main(argv: list[str] | None = None) -> int:
         "(demonstrates checker power)",
     )
     p_torture.add_argument("--json", help="write failing programs as JSON")
+    p_torture.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes for the episode fan-out (default: REPRO_JOBS "
+        "or 1; trace hashes are identical whatever the value)",
+    )
+
+    p_profile = sub.add_parser(
+        "profile", help="cProfile one cell and print the hottest functions"
+    )
+    p_profile.add_argument("arch", help="architecture (see `repro list`)")
+    p_profile.add_argument("workload", choices=sorted(_WORKLOADS))
+    p_profile.add_argument("--clients", type=int, default=4)
+    p_profile.add_argument("--scale", type=float, default=0.1)
+    p_profile.add_argument(
+        "--top", type=int, default=25, help="functions to print (by cumtime)"
+    )
+    p_profile.add_argument(
+        "--json", help="dump the top functions as JSON ('-' for stdout)"
+    )
 
     sub.add_parser("quickstart", help="run the quickstart demo")
 
@@ -337,6 +491,7 @@ def main(argv: list[str] | None = None) -> int:
         "cell": _cmd_cell,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "torture": _cmd_torture,
         "quickstart": _cmd_quickstart,
     }[args.command]

@@ -60,19 +60,39 @@ class IntervalSet:
         ivs[lo:hi] = [(start, end)]
 
     def remove(self, start: int, end: int) -> None:
-        """Delete coverage of ``[start, end)``; splits as needed."""
+        """Delete coverage of ``[start, end)``; splits as needed.
+
+        Like :meth:`add`, the touched run is located with ``bisect`` and
+        replaced with one slice splice — O(log n + k) for k affected
+        intervals, instead of rebuilding the whole list.
+        """
         if start >= end or not self._ivs:
             return
-        out: list[tuple[int, int]] = []
-        for s, e in self._ivs:
-            if e <= start or s >= end:
-                out.append((s, e))
-                continue
+        ivs = self._ivs
+        lo = bisect_left(ivs, (start,))
+        # The preceding interval may reach into [start, end).
+        if lo > 0 and ivs[lo - 1][1] > start:
+            lo -= 1
+        hi = lo
+        n = len(ivs)
+        repl: list[tuple[int, int]] = []
+        while hi < n and ivs[hi][0] < end:
+            s, e = ivs[hi]
             if s < start:
-                out.append((s, start))
+                repl.append((s, start))
             if e > end:
-                out.append((end, e))
-        self._ivs = out
+                repl.append((end, e))
+            hi += 1
+        if hi > lo:
+            ivs[lo:hi] = repl
+
+    def _first_overlapping(self, start: int) -> int:
+        """Index of the first interval with ``end > start``."""
+        ivs = self._ivs
+        i = bisect_right(ivs, (start, float("inf"))) - 1
+        if i < 0 or ivs[i][1] <= start:
+            i += 1
+        return i
 
     def covers(self, start: int, end: int) -> bool:
         """True if ``[start, end)`` is fully covered."""
@@ -85,30 +105,50 @@ class IntervalSet:
         return s <= start and e >= end
 
     def gaps(self, start: int, end: int) -> list[tuple[int, int]]:
-        """Sub-ranges of ``[start, end)`` *not* covered."""
+        """Sub-ranges of ``[start, end)`` *not* covered.
+
+        Starts at the first overlapping interval (bisect) rather than
+        scanning from index 0 — this is on the per-read/per-write hot
+        path of the NFS client's page cache.
+        """
         out: list[tuple[int, int]] = []
+        if start >= end:
+            return out
+        ivs = self._ivs
         pos = start
-        for s, e in self._ivs:
-            if e <= start:
-                continue
+        n = len(ivs)
+        i = self._first_overlapping(start)
+        while i < n:
+            s, e = ivs[i]
             if s >= end:
                 break
             if s > pos:
-                out.append((pos, min(s, end)))
-            pos = max(pos, e)
+                out.append((pos, s))
+            pos = e
             if pos >= end:
                 break
+            i += 1
         if pos < end:
             out.append((pos, end))
         return out
 
     def runs_in(self, start: int, end: int) -> list[tuple[int, int]]:
-        """Covered sub-ranges of ``[start, end)``."""
-        out = []
-        for s, e in self._ivs:
-            lo, hi = max(s, start), min(e, end)
+        """Covered sub-ranges of ``[start, end)`` (bisect-located)."""
+        out: list[tuple[int, int]] = []
+        if start >= end:
+            return out
+        ivs = self._ivs
+        n = len(ivs)
+        i = self._first_overlapping(start)
+        while i < n:
+            s, e = ivs[i]
+            if s >= end:
+                break
+            lo = s if s > start else start
+            hi = e if e < end else end
             if lo < hi:
                 out.append((lo, hi))
+            i += 1
         return out
 
     def copy(self) -> "IntervalSet":

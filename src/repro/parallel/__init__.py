@@ -1,0 +1,26 @@
+"""Parallel experiment engine: process-pool fan-out + result caching.
+
+See :mod:`repro.parallel.engine` for the execution model (serial
+reference path, process pool, determinism guarantee),
+:mod:`repro.parallel.cache` for the content-addressed result cache, and
+:mod:`repro.parallel.jobs` for the picklable job specs.
+"""
+
+from repro.parallel.cache import ResultCache, code_fingerprint, spec_key
+from repro.parallel.engine import EngineReport, default_jobs, run_jobs
+from repro.parallel.jobs import describe, figure_cell_spec, run_job, torture_spec
+from repro.parallel.reporter import ProgressReporter
+
+__all__ = [
+    "EngineReport",
+    "ProgressReporter",
+    "ResultCache",
+    "code_fingerprint",
+    "describe",
+    "default_jobs",
+    "figure_cell_spec",
+    "run_job",
+    "run_jobs",
+    "spec_key",
+    "torture_spec",
+]

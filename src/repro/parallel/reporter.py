@@ -1,0 +1,59 @@
+"""Progress/ETA reporting for job batches — always on stderr.
+
+Results (tables, JSON) belong on stdout; progress is commentary and
+goes to stderr so ``repro run ... --json - > out.json`` stays a valid
+JSON document even while forty cells chatter about their ETAs.  The
+reporter is also the single place per-episode/per-cell lines are
+printed from, which is what keeps sweep output from interleaving with
+results.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Prints ``[done/total] label wall (eta Ns)`` lines to a stream.
+
+    ETA is batch elapsed time scaled by remaining/completed — it
+    already accounts for however many workers are draining the batch,
+    because elapsed time does.
+    """
+
+    def __init__(self, total: int, label: str = "jobs", stream=None):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.cached = 0
+        self._t0 = time.perf_counter()
+
+    def update(self, desc: str, wall: float = 0.0, cached: bool = False) -> None:
+        """Record one finished job and print its progress line."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        elapsed = time.perf_counter() - self._t0
+        remaining = self.total - self.done
+        eta = elapsed / self.done * remaining if self.done else 0.0
+        tail = "cached" if cached else f"{wall:.2f}s"
+        print(
+            f"[{self.done}/{self.total}] {desc}  {tail}  (eta {eta:.0f}s)",
+            file=self.stream,
+        )
+
+    def note(self, text: str) -> None:
+        """Out-of-band commentary (violations, warnings) — same stream."""
+        print(text, file=self.stream)
+
+    def close(self) -> None:
+        elapsed = time.perf_counter() - self._t0
+        cached = f", {self.cached} cached" if self.cached else ""
+        print(
+            f"{self.done}/{self.total} {self.label} in {elapsed:.1f}s{cached}",
+            file=self.stream,
+        )

@@ -8,9 +8,22 @@ file outgrows the materialisation cap; from then on reads return
 synthetic payloads of the correct length.  The switch is one-way and
 per-file, so small functional files keep full fidelity even in runs
 that also move synthetic gigabytes.
+
+Zero-copy reads
+---------------
+:meth:`FileData.read` does not copy: it returns a
+:class:`~repro.vfs.api.Payload` borrowing a ``memoryview`` into the
+store's buffer.  The store remembers every outstanding view (weakly)
+and freezes them — materialising their bytes — immediately before any
+operation that mutates or resizes the buffer, so a payload always
+observes the buffer contents as of its ``read`` call, exactly as the
+copying implementation did.  Readers that never inspect the bytes
+(every benchmark workload) never pay the copy.
 """
 
 from __future__ import annotations
+
+import weakref
 
 from repro.vfs.api import Payload
 
@@ -23,13 +36,30 @@ MATERIALISE_CAP = 64 * 1024 * 1024
 class FileData:
     """Contents of one storage object (whole file or one server's stripe)."""
 
-    __slots__ = ("size", "_buf", "exact", "cap")
+    __slots__ = ("size", "_buf", "exact", "cap", "_views")
 
     def __init__(self, cap: int = MATERIALISE_CAP):
         self.size = 0
         self._buf = bytearray()
         self.exact = True
         self.cap = cap
+        #: Weak refs to Payloads currently borrowing views of ``_buf``.
+        self._views: list = []
+
+    def _freeze_views(self) -> None:
+        """Materialise every outstanding borrowed view.
+
+        Must run before any mutation of ``_buf``: in-place writes would
+        silently change what lent-out views observe, and resizes would
+        raise ``BufferError`` while exports are alive.
+        """
+        views = self._views
+        if views:
+            for ref in views:
+                p = ref()
+                if p is not None:
+                    p._freeze()
+            views.clear()
 
     def write(self, offset: int, payload: Payload) -> None:
         """Store ``payload`` at ``offset``, extending the object if needed."""
@@ -40,16 +70,24 @@ class FileData:
         if not self.exact:
             return
         if payload.is_synthetic or end > self.cap:
-            # One-way degradation to size-only accounting.
+            # One-way degradation to size-only accounting.  The old
+            # buffer is abandoned, never mutated again: outstanding
+            # views stay valid snapshots without freezing.
             self.exact = False
             self._buf = bytearray()
+            self._views.clear()
             return
+        self._freeze_views()
         if len(self._buf) < end:
             self._buf.extend(b"\x00" * (end - len(self._buf)))
-        self._buf[offset:end] = payload.data  # type: ignore[index]
+        self._buf[offset:end] = payload.raw  # type: ignore[index]
 
     def read(self, offset: int, nbytes: int) -> Payload:
-        """Read up to ``nbytes`` at ``offset``; truncated at EOF."""
+        """Read up to ``nbytes`` at ``offset``; truncated at EOF.
+
+        Zero-copy: the returned payload borrows a view of the buffer
+        (frozen automatically before the next mutation).
+        """
         if offset < 0 or nbytes < 0:
             raise ValueError("offset/nbytes must be >= 0")
         start = min(offset, self.size)
@@ -59,8 +97,13 @@ class FileData:
         end = start + length
         if len(self._buf) < end:
             # Sparse tail beyond what was materialised: zero-fill.
+            self._freeze_views()
             self._buf.extend(b"\x00" * (end - len(self._buf)))
-        return Payload(self._buf[start:end])
+        if length == 0:
+            return Payload(b"")
+        p = Payload._of_view(memoryview(self._buf)[start:end])
+        self._views.append(weakref.ref(p))
+        return p
 
     def truncate(self, new_size: int) -> None:
         """Set the object size; shrinking discards trailing bytes."""
@@ -68,4 +111,5 @@ class FileData:
             raise ValueError("size must be >= 0")
         self.size = new_size
         if self.exact and len(self._buf) > new_size:
+            self._freeze_views()
             del self._buf[new_size:]

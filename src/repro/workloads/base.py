@@ -15,6 +15,7 @@ streams are seeded per (workload, client) — runs are deterministic.
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -47,8 +48,15 @@ class Workload(ABC):
         self.seed = seed
 
     def rng(self, client_idx: int) -> np.random.Generator:
-        """Deterministic per-client random stream."""
-        return np.random.default_rng((self.seed, hash(self.name) & 0xFFFF, client_idx))
+        """Deterministic per-client random stream.
+
+        The name is folded in with ``crc32``, not ``hash()``: string
+        hashes are randomised per process, which would make the same
+        workload draw different streams in different worker processes —
+        parallel sweeps must be bit-identical to serial ones.
+        """
+        name_tag = zlib.crc32(self.name.encode()) & 0xFFFF
+        return np.random.default_rng((self.seed, name_tag, client_idx))
 
     def prepare(self, sim, admin: FileSystemClient, n_clients: int):
         """Generator: one-time setup (directories, pre-created files)."""

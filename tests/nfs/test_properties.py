@@ -80,6 +80,118 @@ def test_interval_set_matches_byte_model():
         )
 
 
+def test_interval_set_remove_heavy_sequences():
+    """Remove-biased sequences: the splice path with many splits."""
+    for seed in range(SEEDS):
+        rng = default_rng(10_000 + seed)
+        ops = []
+        for _ in range(40):
+            kind = "remove" if rng.random() < 0.6 else "add"
+            s = int(rng.integers(0, LIMIT))
+            e = int(rng.integers(s, LIMIT + 1))
+            ops.append((kind, s, e))
+        if interval_violation(ops) is None:
+            continue
+        minimal = shrink_list(ops, lambda c: interval_violation(c) is not None)
+        pytest.fail(
+            f"seed {10_000 + seed}: {interval_violation(minimal)}\n"
+            f"minimal ops: {minimal}"
+        )
+
+
+def test_interval_set_probe_windows_cover_bisect_boundaries():
+    """gaps/runs_in/covers probed at every window over a fragmented set.
+
+    A comb of single-byte runs makes the bisect landing index matter at
+    every boundary: windows starting inside a run, exactly at a run
+    start, exactly at a run end, and before/after the whole set.
+    """
+    ivs = IntervalSet()
+    model = set()
+    for s in range(0, LIMIT, 3):  # runs [s, s+2)
+        ivs.add(s, s + 2)
+        model |= {s, s + 1}
+    for ws in range(-2, LIMIT + 2):
+        for length in (0, 1, 2, 3, 7):
+            we = ws + length
+            win = set(range(max(ws, 0), max(we, 0)))
+            gap_bytes = {b for gs, ge in ivs.gaps(ws, we) for b in range(gs, ge)}
+            run_bytes = {b for rs, re_ in ivs.runs_in(ws, we) for b in range(rs, re_)}
+            if ws >= 0:
+                assert gap_bytes == {b for b in win if b not in model}, (ws, we)
+                assert run_bytes == win & model, (ws, we)
+                assert ivs.covers(ws, we) == (win <= model or ws >= we), (ws, we)
+            # gaps/runs_in must tile the window exactly, in order.
+            pieces = sorted(ivs.gaps(ws, we) + ivs.runs_in(ws, we))
+            pos = ws
+            for ps, pe in pieces:
+                assert ps == pos and pe > ps, (ws, we, pieces)
+                pos = pe
+            if ws < we:
+                assert pos == we, (ws, we, pieces)
+
+
+def test_interval_set_sparse_large_universe():
+    """Sparse intervals over a big coordinate space (page-cache shaped).
+
+    The old implementations scanned from index 0; these sequences keep
+    hundreds of distant runs alive so a scan bug or off-by-one in the
+    bisect landing shows up as a model divergence.
+    """
+    for seed in range(25):
+        rng = default_rng(20_000 + seed)
+        ivs = IntervalSet()
+        naive: list[tuple[int, int]] = []
+
+        def naive_apply(kind, s, e):
+            out = []
+            for ns, ne in naive:
+                if kind == "add" or ne <= s or ns >= e:
+                    out.append((ns, ne))
+                    continue
+                if ns < s:
+                    out.append((ns, s))
+                if ne > e:
+                    out.append((e, ne))
+            if kind == "add":
+                out.append((s, e))
+            out.sort()
+            merged: list[tuple[int, int]] = []
+            for ns, ne in out:
+                if merged and ns <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], ne))
+                else:
+                    merged.append((ns, ne))
+            return merged
+
+        for _ in range(300):
+            kind = "add" if rng.random() < 0.65 else "remove"
+            s = int(rng.integers(0, 1 << 20)) * 4096
+            e = s + int(rng.integers(1, 16)) * 4096
+            if kind == "add":
+                ivs.add(s, e)
+            else:
+                ivs.remove(s, e)
+            naive = naive_apply(kind, s, e)
+        assert list(ivs) == naive, f"seed {20_000 + seed}"
+        ws = naive[len(naive) // 2][0] - 4096 if naive else 0
+        we = ws + 64 * 4096
+        want_runs = [
+            (max(ns, ws), min(ne, we))
+            for ns, ne in naive
+            if max(ns, ws) < min(ne, we)
+        ]
+        assert ivs.runs_in(ws, we) == want_runs
+        pos, want_gaps = ws, []
+        for rs, re_ in want_runs:
+            if rs > pos:
+                want_gaps.append((pos, rs))
+            pos = re_
+        if pos < we:
+            want_gaps.append((pos, we))
+        assert ivs.gaps(ws, we) == want_gaps
+
+
 # --------------------------------------------------------------------------
 # LockManager vs brute-force per-byte model
 # --------------------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""Zero-copy read path: same observable behaviour as the copying one.
+
+``FileData.read`` returns ``Payload``s borrowing ``memoryview``s of the
+store's buffer; the store freezes outstanding views before any buffer
+mutation.  These tests pin the snapshot semantics directly, and then
+prove the equivalence end-to-end: a torture episode's sha256 trace hash
+and a figure cell's measured outputs are identical whether reads
+borrow views (current code) or copy every slice (the pre-PR behaviour,
+reintroduced here by monkeypatching the read path).
+"""
+
+import pickle
+
+import pytest
+
+from repro.vfs.api import Payload
+from repro.vfs.filedata import FileData
+
+
+class TestSnapshotSemantics:
+    def test_read_observes_bytes_as_of_the_read(self):
+        fd = FileData()
+        fd.write(0, Payload(b"aaaa"))
+        snap = fd.read(0, 4)
+        fd.write(0, Payload(b"bbbb"))  # freezes the outstanding view
+        assert snap.data == b"aaaa"
+        assert fd.read(0, 4).data == b"bbbb"
+
+    def test_truncate_freezes_views(self):
+        fd = FileData()
+        fd.write(0, Payload(b"abcdef"))
+        snap = fd.read(0, 6)
+        fd.truncate(2)
+        assert snap.data == b"abcdef"
+        assert fd.read(0, 6).data == b"ab"
+
+    def test_degradation_to_synthetic_keeps_snapshots(self):
+        fd = FileData(cap=8)
+        fd.write(0, Payload(b"12345678"))
+        snap = fd.read(0, 8)
+        fd.write(8, Payload(b"xx"))  # over cap: store goes size-only
+        assert snap.data == b"12345678"
+        assert fd.read(0, 4).is_synthetic
+
+    def test_sliced_payload_shares_until_escape(self):
+        p = Payload(b"hello world")
+        s = p.slice(6, 5)
+        assert s.nbytes == 5
+        assert isinstance(s.raw, memoryview)  # no copy yet
+        assert s.data == b"world"  # escape materialises
+        assert isinstance(s.raw, bytes)
+
+    def test_view_payloads_pickle_as_bytes(self):
+        fd = FileData()
+        fd.write(0, Payload(b"abcd"))
+        p = fd.read(0, 4)
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone.data == b"abcd"
+
+    def test_equality_and_hash_across_kinds(self):
+        fd = FileData()
+        fd.write(0, Payload(b"abcd"))
+        view = fd.read(0, 4)
+        assert view == Payload(b"abcd")
+        assert hash(view) == hash(Payload(b"abcd"))
+
+    def test_many_reads_then_mutation_freezes_all(self):
+        fd = FileData()
+        fd.write(0, Payload(bytes(range(64))))
+        snaps = [fd.read(i, 8) for i in range(0, 64, 8)]
+        fd.write(0, Payload(b"\xff" * 64))
+        for i, snap in enumerate(snaps):
+            assert snap.data == bytes(range(i * 8, i * 8 + 8))
+
+
+def _copying_read(orig):
+    """The pre-PR behaviour: every exact read copies its slice."""
+
+    def read_copying(self, offset, nbytes):
+        p = orig(self, offset, nbytes)
+        if p.is_synthetic:
+            return p
+        return Payload(p.data)  # force-materialise: the old copy
+
+    return read_copying
+
+
+class TestEndToEndEquivalence:
+    SEED = 7
+
+    def _episode_hash(self):
+        from repro.check.program import generate
+        from repro.check.runner import run_episode
+
+        res = run_episode(generate(self.SEED), "direct-pnfs")
+        assert res.ok, res.violations
+        return res.trace_hash
+
+    def _cell_outputs(self):
+        from repro.bench.runner import run_cell
+        from repro.workloads import IorWorkload
+
+        res = run_cell(
+            "direct-pnfs",
+            IorWorkload(op="write", block_size=8192, scale=0.02),
+            2,
+        )
+        return (res.makespan, res.total_bytes, res.aggregate_mbps)
+
+    def test_torture_trace_hash_unchanged(self, monkeypatch):
+        zero_copy = self._episode_hash()
+        with monkeypatch.context() as m:
+            m.setattr(FileData, "read", _copying_read(FileData.read))
+            copying = self._episode_hash()
+        assert zero_copy == copying
+
+    def test_figure_cell_outputs_unchanged(self, monkeypatch):
+        zero_copy = self._cell_outputs()
+        with monkeypatch.context() as m:
+            m.setattr(FileData, "read", _copying_read(FileData.read))
+            copying = self._cell_outputs()
+        assert zero_copy == copying
