@@ -1,0 +1,141 @@
+"""Events-per-RPC gate: the kernel must stay cheap per protocol op.
+
+The two-lane scheduler exists to cut what one RPC costs the event
+kernel: before it, the pinned cell below (Direct-pNFS, 8-client IOR
+separate-file writes) pushed ~243 events — all heap — per served RPC,
+most of them zero-delay bookkeeping (process kicks, free-resource
+grants, leg joins).  With the fast lane and lightweight spawn the heap
+sees ~59 events per RPC and the rest ride a deque.
+
+This gate pins that down so it cannot silently regress:
+
+* heap events per RPC must stay below ``HEAP_EVENTS_PER_RPC_MAX``,
+* total events per RPC must stay below ``EVENTS_PER_RPC_MAX``,
+* the fast lane must carry the majority of scheduled events (the
+  structural claim of the two-lane design on this workload),
+* simulated physics must match the checked-in throughput (the kernel
+  is a scheduler, not a model: it must never change results).
+
+The measurement lands in ``benchmarks/results/BENCH_engine.json`` —
+the engine-cost trajectory artifact CI uploads next to
+``engine_perf.json`` and ``BENCH_parallel.json``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.runner import run_cell
+from repro.workloads import IorWorkload
+
+MB = 1024 * 1024
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Pinned cell: the acceptance-criteria config (direct-pnfs/ior-write
+#: @ 8 clients), RPC-dense (2 MB blocks -> many WRITEs + layout traffic)
+#: so per-RPC kernel overhead, not byte-moving, dominates the bill.
+ARCH = "direct-pnfs"
+N_CLIENTS = 8
+BLOCK = 2 * MB
+SCALE = 0.2
+
+#: Measured on the pinned cell before the two-lane scheduler: every
+#: event was a heap event, ~243 of them per served RPC.  Kept as the
+#: recorded reference point for the trajectory artifact.
+PRE_TWO_LANE_EVENTS_PER_RPC = 242.9
+
+#: Ceilings with headroom over the measured post-change values (~59
+#: heap / ~220 total per RPC): loose enough for config drift in other
+#: layers, tight enough that losing the fast lane (or re-growing a
+#: per-leg Process + AllOf chain) trips them immediately.
+HEAP_EVENTS_PER_RPC_MAX = 90.0
+EVENTS_PER_RPC_MAX = 235.0
+
+#: Simulated aggregate throughput of the pinned cell (deterministic for
+#: a fixed config; scheduler changes must not move it at all).
+EXPECTED_MBPS = 112.73
+MAX_DRIFT = 0.05
+
+
+def test_events_per_rpc_stays_below_ceiling():
+    res = run_cell(
+        ARCH,
+        IorWorkload(op="write", block_size=BLOCK, shared_file=False, scale=SCALE),
+        N_CLIENTS,
+        keep_deployment=True,
+    )
+    engine = res.engine
+    rpcs = sum(s.rpc.calls_served for s in res.deployment.servers)
+    assert rpcs > 0
+    heap_per_rpc = engine["heap_events"] / rpcs
+    events_per_rpc = engine["events_processed"] / rpcs
+
+    report = {
+        "config": {
+            "arch": ARCH,
+            "workload": f"ior-write-{BLOCK // MB}MB-separate",
+            "n_clients": N_CLIENTS,
+            "scale": SCALE,
+        },
+        "rpcs": rpcs,
+        "events_per_rpc": events_per_rpc,
+        "heap_events_per_rpc": heap_per_rpc,
+        "pre_two_lane_events_per_rpc": PRE_TWO_LANE_EVENTS_PER_RPC,
+        "ceilings": {
+            "heap_events_per_rpc": HEAP_EVENTS_PER_RPC_MAX,
+            "events_per_rpc": EVENTS_PER_RPC_MAX,
+        },
+        "aggregate_mbps": res.aggregate_mbps,
+        "engine": dict(engine),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_engine.json", "w") as fh:
+        json.dump(report, fh, indent=2)
+    print()
+    print(
+        f"  {rpcs} RPCs, {events_per_rpc:.1f} events/RPC "
+        f"({heap_per_rpc:.1f} heap, was {PRE_TWO_LANE_EVENTS_PER_RPC} pre-two-lane)"
+    )
+
+    # The physics is untouched by kernel scheduling changes.
+    assert res.aggregate_mbps == pytest.approx(EXPECTED_MBPS, rel=MAX_DRIFT)
+    # The structural claim: most events never touch the heap here.
+    assert engine["fast_lane_events"] > engine["heap_events"]
+    assert engine["events_processed"] == pytest.approx(
+        engine["events_scheduled"], abs=64
+    )
+    # The gate.
+    assert heap_per_rpc < HEAP_EVENTS_PER_RPC_MAX, (
+        f"{heap_per_rpc:.1f} heap events per RPC "
+        f"(ceiling {HEAP_EVENTS_PER_RPC_MAX})"
+    )
+    assert events_per_rpc < EVENTS_PER_RPC_MAX, (
+        f"{events_per_rpc:.1f} events per RPC (ceiling {EVENTS_PER_RPC_MAX})"
+    )
+
+
+def test_engine_stats_flow_into_run_result():
+    """The lane counters are observable per run: ``RunResult.engine``
+    carries them (and therefore every benchmark JSON that embeds it),
+    and ``repro.obs`` exports them as gauges."""
+    from repro.obs import MetricsRegistry, observe_engine
+
+    res = run_cell(
+        ARCH,
+        IorWorkload(op="write", block_size=BLOCK, shared_file=False, scale=0.02),
+        2,
+        keep_deployment=True,
+    )
+    for key in ("fast_lane_events", "heap_events", "events_scheduled"):
+        assert key in res.engine
+    assert (
+        res.engine["fast_lane_events"] + res.engine["heap_events"]
+        == res.engine["events_scheduled"]
+    )
+
+    reg = MetricsRegistry()
+    observe_engine(reg, res.deployment.testbed.sim)
+    snap = reg.sample_numeric()
+    assert snap["engine.fast_lane_events"] == res.engine["fast_lane_events"]
+    assert snap["engine.heap_events"] == res.engine["heap_events"]

@@ -20,6 +20,7 @@ load (spans) or a plain integer increment (counters).
 from repro.obs.attach import (
     observe_client,
     observe_deployment,
+    observe_engine,
     observe_network,
     observe_node,
     observe_rpc_server,
@@ -39,6 +40,7 @@ __all__ = [
     "current_collector",
     "observe_client",
     "observe_deployment",
+    "observe_engine",
     "observe_network",
     "observe_node",
     "observe_rpc_server",

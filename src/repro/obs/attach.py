@@ -24,6 +24,7 @@ __all__ = [
     "observe_client",
     "observe_storage_daemon",
     "observe_network",
+    "observe_engine",
     "observe_deployment",
 ]
 
@@ -108,6 +109,23 @@ def observe_network(reg: MetricsRegistry, network) -> None:
     reg.gauge("net.fluid_recomputes", lambda: network.fluid_recomputes)
 
 
+def observe_engine(reg: MetricsRegistry, sim) -> None:
+    """Event-kernel counters: lane split, heap depth, events-per-run.
+
+    Exposes :class:`~repro.sim.engine.EngineStats` so a sampler can
+    plot events-per-RPC against the RPC-server counters.
+    """
+    stats = sim.stats
+    for attr in (
+        "events_scheduled",
+        "events_processed",
+        "fast_lane_events",
+        "heap_events",
+        "peak_heap",
+    ):
+        _gauge_attr(reg, f"engine.{attr}", stats, attr)
+
+
 def observe_deployment(reg: MetricsRegistry, dep, clients=()) -> None:
     """Observe a whole :class:`~repro.cluster.configs.Deployment`.
 
@@ -116,6 +134,7 @@ def observe_deployment(reg: MetricsRegistry, dep, clients=()) -> None:
     typing), the network, and any ``clients`` passed in.
     """
     tb = dep.testbed
+    observe_engine(reg, tb.sim)
     observe_network(reg, tb.network)
     for node in tb.server_nodes + tb.client_nodes + [tb.extra_node]:
         observe_node(reg, node)

@@ -290,19 +290,22 @@ def _attempt_body(
     # 1. Client-side marshalling, then copy-out OVERLAPPED with the
     #    request transfer: real stacks stream while copying, so wall
     #    time is max(copy, wire), with the CPU held for the copy part.
+    #    Legs run as lightweight spawned tasks rather than full
+    #    joinable processes: nothing ever joins or interrupts a leg
+    #    individually (a retry timer interrupts the *attempt*, and an
+    #    in-flight transfer keeps the wire busy regardless), so the
+    #    per-leg Process + completion-event + AllOf machinery was pure
+    #    overhead.
     yield from client_node.compute(costs.client_per_call)
-    request_legs = [
-        sim.process(
+    if req_payload_bytes:
+        yield sim.spawn(
+            client_node.network.transfer(client_node.name, server.node.name, req_bytes),
+            client_node.compute(costs.client_per_byte * req_payload_bytes),
+        )
+    else:
+        yield sim.spawn(
             client_node.network.transfer(client_node.name, server.node.name, req_bytes)
         )
-    ]
-    if req_payload_bytes:
-        request_legs.append(
-            sim.process(
-                client_node.compute(costs.client_per_byte * req_payload_bytes)
-            )
-        )
-    yield sim.all_of(request_legs)
     if not server.up:
         yield _lost(sim)  # request arrived at a dead server
 
@@ -356,25 +359,20 @@ def _attempt_body(
             yield _lost(sim)  # server died before the reply left
         reply_payload_bytes = reply_payload.nbytes if reply_payload is not None else 0
         reply_bytes = HEADER_BYTES + reply_payload_bytes
-        reply_legs = [
-            sim.process(
+        if reply_payload_bytes:
+            yield sim.spawn(
+                client_node.network.transfer(
+                    server.node.name, client_node.name, reply_bytes
+                ),
+                server.node.compute(costs.per_byte_out * reply_payload_bytes),
+                client_node.compute(costs.client_per_byte * reply_payload_bytes),
+            )
+        else:
+            yield sim.spawn(
                 client_node.network.transfer(
                     server.node.name, client_node.name, reply_bytes
                 )
             )
-        ]
-        if reply_payload_bytes:
-            reply_legs.append(
-                sim.process(
-                    server.node.compute(costs.per_byte_out * reply_payload_bytes)
-                )
-            )
-            reply_legs.append(
-                sim.process(
-                    client_node.compute(costs.client_per_byte * reply_payload_bytes)
-                )
-            )
-        yield sim.all_of(reply_legs)
         server.calls_served += 1
         if error is not None:
             server.errors += 1

@@ -13,6 +13,32 @@ Events scheduled for the same instant fire in FIFO order of scheduling
 (a monotonically increasing sequence number breaks time ties), so a
 simulation configured with a seeded RNG is exactly reproducible.
 
+Two-lane scheduling
+-------------------
+The kernel keeps two queues: a FIFO *fast lane* (a deque) for events
+scheduled with zero delay at the current instant, and the time-ordered
+heap for genuinely future timestamps.  Most of a protocol simulation's
+events are zero-delay bookkeeping — process start kicks, free-resource
+grants, condition joins — and the fast lane turns each of those from an
+O(log n) heap push/pop with tuple comparisons into a deque append/pop.
+
+The split preserves firing order *by construction*.  Every entry in
+either lane carries the same ``(time, priority, seq)`` key the pure
+heap used; the fast lane is sorted by that key automatically (entries
+are appended at the current instant with increasing seq), so the
+scheduler pops whichever lane has the smaller head key and the merged
+order is exactly the single-heap order.  Two supporting invariants:
+
+* a fast-lane entry's timestamp always equals ``now`` — the lane only
+  accepts zero-delay events, and it drains before the clock can
+  advance (its head always compares smaller than any later heap entry);
+* *urgent* events (process interrupts, priority 0) go to the heap even
+  at zero delay, so they keep beating same-instant priority-1 events
+  regardless of scheduling order, exactly as before.
+
+``Simulator(two_lane=False)`` routes everything through the heap — the
+reference kernel the differential tests compare against.
+
 Typical usage::
 
     sim = Simulator()
@@ -32,6 +58,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time as _time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -41,6 +68,7 @@ __all__ = [
     "EngineStats",
     "Event",
     "Interrupt",
+    "Join",
     "Process",
     "SimulationError",
     "Simulator",
@@ -245,6 +273,39 @@ class Timeout(Event):
         return self
 
 
+class _Start:
+    """Pre-fired sentinel delivered to a generator's first resume.
+
+    Shaped like a processed, successful event (``ok``/``_value`` are
+    all ``_resume`` reads on the success path) without being one — the
+    start kick needs no per-process event allocation.
+    """
+
+    __slots__ = ()
+    ok = True
+    _value = None
+
+
+_START = _Start()
+
+
+class _Kick:
+    """Fast-lane entry that starts a process/task at the current instant.
+
+    Replaces the per-process init :class:`Event`: the scheduler calls
+    ``_process_callbacks`` on whatever it pops, and a kick's only job
+    is to push the wrapped activity into its first generator segment.
+    """
+
+    __slots__ = ("proc",)
+
+    def __init__(self, proc):
+        self.proc = proc
+
+    def _process_callbacks(self) -> None:
+        self.proc._resume(_START)
+
+
 class Process(Event):
     """A running simulation activity wrapping a generator.
 
@@ -262,10 +323,11 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        # Kick off the process at the current instant.
-        init = Event(sim)
-        init.succeed()
-        init.add_callback(self._resume)
+        # Kick off the process at the current instant.  The kick takes
+        # the same scheduling slot the old init-event enqueue did, so
+        # firing order is unchanged — it just costs no Event allocation
+        # and (on the fast lane) no heap traffic.
+        sim._enqueue(_Kick(self), 0.0)
 
     @property
     def is_alive(self) -> bool:
@@ -300,38 +362,49 @@ class Process(Event):
         interrupt_ev.add_callback(self._resume)
 
     # -- engine internals ----------------------------------------------
-    def _resume(self, event: Event) -> None:
-        self._waiting_on = None
-        self.sim._active_process = self
-        try:
-            if event.ok:
-                target = self._generator.send(event._value)
-            else:
-                event._defused = True
-                target = self._generator.throw(event._value)
-        except StopIteration as stop:
-            self.sim._active_process = None
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.sim._active_process = None
-            self.fail(exc)
-            return
-        self.sim._active_process = None
-        if not isinstance(target, Event):
-            error = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}"
-            )
+    def _resume(self, event) -> None:
+        # Trampoline: yielding an already-processed event used to recurse
+        # (``add_callback`` on a processed event calls back immediately);
+        # looping here resumes such targets iteratively, so long chains
+        # of completed events cost stack-free sends instead of recursion.
+        sim = self.sim
+        gen = self._generator
+        while True:
+            self._waiting_on = None
+            sim._active_process = self
             try:
-                self._generator.throw(error)
+                if event.ok:
+                    target = gen.send(event._value)
+                else:
+                    event._defused = True
+                    target = gen.throw(event._value)
+            except StopIteration as stop:
+                sim._active_process = None
+                self.succeed(stop.value)
+                return
             except BaseException as exc:
+                sim._active_process = None
                 self.fail(exc)
                 return
-            raise error
-        if target.sim is not self.sim:
-            raise SimulationError("yielded event belongs to another simulator")
-        self._waiting_on = target
-        target.add_callback(self._resume)
+            sim._active_process = None
+            if not isinstance(target, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                try:
+                    gen.throw(error)
+                except BaseException as exc:
+                    self.fail(exc)
+                    return
+                raise error
+            if target.sim is not sim:
+                raise SimulationError("yielded event belongs to another simulator")
+            if target._state == _PROCESSED:
+                event = target
+                continue
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
 
 
 class _Condition(Event):
@@ -411,6 +484,86 @@ class AnyOf(_Condition):
         self.succeed((self._index[id(event)], event._value))
 
 
+class Join(Event):
+    """Completion event for a batch of lightweight tasks.
+
+    Returned by :meth:`Simulator.spawn`; fires (value ``None``) when
+    every spawned generator has run to completion, or fails with the
+    first task exception.  Unlike :class:`AllOf` over processes, the
+    join is told about completions directly — finishing a task costs no
+    per-task completion event.
+    """
+
+    __slots__ = ("_pending_count",)
+
+    def __init__(self, sim: "Simulator", count: int):
+        super().__init__(sim)
+        self._pending_count = count
+        if count == 0:
+            self.succeed(None)
+
+    def _task_done(self) -> None:
+        self._pending_count -= 1
+        if self._pending_count == 0 and self._state == _PENDING:
+            self.succeed(None)
+
+    def _task_fail(self, exc: BaseException) -> None:
+        if self._state == _PENDING:
+            self.fail(exc)
+        else:
+            # Mirrors a leg Process failing after its AllOf resolved:
+            # nobody can observe the failure, so it crashes the run.
+            raise exc
+
+
+class _Task:
+    """Lightweight generator driver for :meth:`Simulator.spawn` legs.
+
+    Unlike :class:`Process` a task is not itself an event — nothing can
+    wait on (or interrupt) an individual leg, only the shared
+    :class:`Join` — so a leg costs one slotted object and no completion
+    event.  Tasks skip the ``_active_process`` bookkeeping too: spans
+    only ever begin inside full processes.
+    """
+
+    __slots__ = ("sim", "_generator", "join")
+
+    def __init__(self, sim: "Simulator", generator: Generator, join: Join):
+        self.sim = sim
+        self._generator = generator
+        self.join = join
+        sim._enqueue(_Kick(self), 0.0)
+
+    def _resume(self, event) -> None:
+        sim = self.sim
+        gen = self._generator
+        while True:
+            try:
+                if event.ok:
+                    target = gen.send(event._value)
+                else:
+                    event._defused = True
+                    target = gen.throw(event._value)
+            except StopIteration:
+                self.join._task_done()
+                return
+            except BaseException as exc:
+                self.join._task_fail(exc)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"task {getattr(gen, '__name__', gen)!r} yielded "
+                    f"non-event {target!r}"
+                )
+            if target.sim is not sim:
+                raise SimulationError("yielded event belongs to another simulator")
+            if target._state == _PROCESSED:
+                event = target
+                continue
+            target.add_callback(self._resume)
+            return
+
+
 @dataclass
 class EngineStats:
     """Event-loop accounting: how much work a simulation actually did.
@@ -420,10 +573,22 @@ class EngineStats:
     are measured against, not asserted from.
     """
 
-    events_scheduled: int = 0
     events_processed: int = 0
     peak_heap: int = 0
     wall_seconds: float = 0.0
+    #: Lane split of scheduled events: zero-delay entries routed to the
+    #: FIFO fast lane vs entries that paid for a real heap push.
+    fast_lane_events: int = 0
+    heap_events: int = 0
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events scheduled (sum of the two lane counters).
+
+        Derived rather than counted: ``_enqueue`` is the hottest call
+        in the kernel and bumps exactly one lane counter per event.
+        """
+        return self.fast_lane_events + self.heap_events
 
     def as_dict(self) -> dict:
         return {
@@ -431,11 +596,14 @@ class EngineStats:
             "events_processed": self.events_processed,
             "peak_heap": self.peak_heap,
             "wall_seconds": self.wall_seconds,
+            "fast_lane_events": self.fast_lane_events,
+            "heap_events": self.heap_events,
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"{self.events_scheduled} events scheduled, "
+            f"{self.events_scheduled} events scheduled "
+            f"({self.fast_lane_events} fast-lane / {self.heap_events} heap), "
             f"{self.events_processed} processed, "
             f"peak heap {self.peak_heap}, "
             f"{self.wall_seconds:.3f}s wall"
@@ -450,9 +618,13 @@ class Simulator:
     same seed are exactly reproducible.
     """
 
-    def __init__(self, seed: int = 20070625):
+    def __init__(self, seed: int = 20070625, two_lane: bool = True):
         self.now: float = 0.0
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: FIFO fast lane of ``(seq, event)`` pairs, all at time ``now``
+        #: with normal priority.  ``None`` disables the lane (pure-heap
+        #: reference kernel for the differential tests).
+        self._fast: Optional[deque] = deque() if two_lane else None
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         self.stats = EngineStats()
@@ -485,6 +657,22 @@ class Simulator:
         """Start ``generator`` as a process at the current instant."""
         return Process(self, generator, name)
 
+    def spawn(self, *generators: Generator) -> Join:
+        """Run ``generators`` as lightweight legs; join fires when all end.
+
+        Cheaper than ``all_of([process(g) for g in generators])``: legs
+        are not events (nothing can join or interrupt one individually),
+        so each costs a small driver object instead of a full
+        :class:`Process` plus a completion event plus an ``AllOf``
+        callback chain.  Use for fire-and-join work like RPC transfer
+        legs; use :meth:`process` when the activity itself must be
+        awaitable or interruptible.
+        """
+        join = Join(self, len(generators))
+        for gen in generators:
+            _Task(self, gen, join)
+        return join
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event firing when all ``events`` have fired."""
         return AllOf(self, events)
@@ -497,32 +685,58 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float, urgent: bool = False) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay!r}s in the past")
+        stats = self.stats
+        fast = self._fast
+        if delay == 0.0 and not urgent and fast is not None:
+            # Zero-delay, normal priority: fires at ``now`` in seq order,
+            # which is exactly FIFO append order on the lane.
+            fast.append((next(self._seq), event))
+            stats.fast_lane_events += 1
+            return
         queue = self._queue
         heapq.heappush(
             queue, (self.now + delay, 0 if urgent else 1, next(self._seq), event)
         )
-        stats = self.stats
-        stats.events_scheduled += 1
+        stats.heap_events += 1
         if len(queue) > stats.peak_heap:
             stats.peak_heap = len(queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._fast:
+            # Fast-lane entries always fire at the current instant.
+            return self.now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self.now:  # pragma: no cover - heap guarantees ordering
-            raise SimulationError("event queue corrupted: time went backwards")
-        self.now = when
+        """Process exactly one event (the merged-order head of both lanes)."""
+        fast = self._fast
+        queue = self._queue
+        if fast:
+            if queue:
+                when, prio, seq, event = queue[0]
+                # The heap head beats the fast-lane head only when its
+                # (time, prio, seq) key is smaller; fast entries sit at
+                # (now, 1, seq), so that means an urgent event at ``now``
+                # or an older same-instant heap entry.
+                if (when, prio, seq) < (self.now, 1, fast[0][0]):
+                    heapq.heappop(queue)
+                else:
+                    event = fast.popleft()[1]
+            else:
+                event = fast.popleft()[1]
+        else:
+            when, _prio, _seq, event = heapq.heappop(queue)
+            if when < self.now:  # pragma: no cover - heap guarantees ordering
+                raise SimulationError("event queue corrupted: time went backwards")
+            self.now = when
         self.stats.events_processed += 1
         event._process_callbacks()
 
     def run(self, until: Optional[float | Event] = None) -> Any:
-        """Run until the queue drains, a deadline passes, or an event fires.
+        """Run until the queues drain, a deadline passes, or an event fires.
 
-        ``until`` may be ``None`` (drain the queue), a number (stop when
+        ``until`` may be ``None`` (drain the queues), a number (stop when
         simulated time would exceed it; ``now`` is set to the deadline),
         or an :class:`Event` (stop when it fires and return its value).
         """
@@ -539,14 +753,44 @@ class Simulator:
                     f"run(until={deadline}) is in the past (now={self.now})"
                 )
 
+        # Hot loop: this is where a protocol simulation spends most of
+        # its wall clock, so lane heads are compared inline (no step()
+        # call, no key-tuple allocation) and hot attributes live in
+        # locals.  ``events_processed`` is batched into one add at exit.
+        stats = self.stats
+        queue = self._queue
+        fast = self._fast
+        heappop = heapq.heappop
+        processed = 0
         wall_start = _time.perf_counter()
         try:
-            while self._queue:
-                if self._queue[0][0] > deadline:
-                    self.now = deadline
-                    return None
-                self.step()
-                if stop_event is not None and stop_event.processed:
+            while queue or fast:
+                if fast:
+                    if queue:
+                        head = queue[0]
+                        # Heap head beats the fast head only at the same
+                        # instant, via urgent priority or an older seq.
+                        if head[0] <= self.now and (
+                            head[1] == 0 or head[2] < fast[0][0]
+                        ):
+                            event = heappop(queue)[3]
+                        else:
+                            event = fast.popleft()[1]
+                    else:
+                        event = fast.popleft()[1]
+                    # No deadline check: fast entries fire at ``now`` and
+                    # a winning heap head is also at ``now`` (it beat a
+                    # same-instant key), so neither can pass ``deadline``.
+                else:
+                    when = queue[0][0]
+                    if when > deadline:
+                        self.now = deadline
+                        return None
+                    event = heappop(queue)[3]
+                    self.now = when
+                processed += 1
+                event._process_callbacks()
+                if stop_event is not None and stop_event._state == _PROCESSED:
                     if not stop_event.ok:
                         raise stop_event._value
                     return stop_event._value
@@ -558,4 +802,5 @@ class Simulator:
                 self.now = deadline
             return None
         finally:
-            self.stats.wall_seconds += _time.perf_counter() - wall_start
+            stats.events_processed += processed
+            stats.wall_seconds += _time.perf_counter() - wall_start

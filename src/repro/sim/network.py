@@ -234,6 +234,7 @@ class FluidSolver:
         self._clock = 0.0  # sim time of the last drain integration
         self._gen = 0  # invalidates superseded completion timers
         self._tick_armed = False
+        self._tick_timer: Optional[Timeout] = None
         #: Rate recomputations performed (solver cost telemetry).
         self.recomputes = 0
         #: Real (non-phantom) fluid flows currently registered.
@@ -337,7 +338,15 @@ class FluidSolver:
         self._gen += 1
         if not self._tick_armed:
             self._tick_armed = True
-            Timeout(self.sim, 0.0).add_callback(self._tick)
+            # One reusable tick timer: it is guaranteed processed by the
+            # time the armed flag clears, so re-arming it in place beats
+            # allocating a Timeout per flow-set mutation.
+            timer = self._tick_timer
+            if timer is None:
+                self._tick_timer = timer = Timeout(self.sim, 0.0)
+            else:
+                timer.reset(0.0)
+            timer.add_callback(self._tick)
 
     def _tick(self, _ev: Event) -> None:
         self._tick_armed = False

@@ -62,7 +62,16 @@ class Resource:
         #: (occupancy high-water mark; tracked at grant time, same as
         #: the session slot table's ``highest_used``).
         self.high_water = 0
-        self._waiters: deque[tuple[Event, int]] = deque()
+        #: Pending acquires: the dict gives O(1) withdrawal for an
+        #: interrupted waiter (events hash by identity) and carries the
+        #: requested units; insertion order is FIFO order.  ``_order``
+        #: shadows the FIFO policy's grant order in a deque, because
+        #: peeking the oldest *dict* entry (``next(iter(d))``) walks the
+        #: tombstones of everything already granted — O(n²) across a
+        #: long drain.  Withdrawn events stay in the deque and are
+        #: discarded lazily when they reach the front.
+        self._waiters: dict[Event, int] = {}
+        self._order: deque[Event] = deque()
 
     @property
     def in_use(self) -> int:
@@ -103,15 +112,35 @@ class Resource:
                 self.high_water = self._in_use
             ev.succeed(units)
         else:
-            self._waiters.append((ev, units))
+            self._waiters[ev] = units
+            if self.policy == "fifo":
+                self._order.append(ev)
         return ev
+
+    def try_acquire(self, units: int = 1) -> bool:
+        """Claim ``units`` immediately if free; never queues.
+
+        Returns ``False`` when the units are not available *or* other
+        requests are already waiting (claiming would jump the queue).
+        The fast path for hot acquire/release cycles: a successful
+        try_acquire costs no event at all.
+        """
+        if units < 1 or units > self.capacity:
+            raise ValueError(
+                f"cannot acquire {units} units of {self.name or 'resource'} "
+                f"with capacity {self.capacity}"
+            )
+        if self._waiters or self._in_use + units > self.capacity:
+            return False
+        self._in_use += units
+        if self._in_use > self.high_water:
+            self.high_water = self._in_use
+        return True
 
     def _abandon_acquire(self, ev: Event) -> None:
         """The waiter was interrupted: withdraw or return the grant."""
-        for i, (waiting_ev, _units) in enumerate(self._waiters):
-            if waiting_ev is ev:
-                del self._waiters[i]
-                return
+        if self._waiters.pop(ev, None) is not None:
+            return
         if ev.triggered:
             # Grant already made but never consumed; the event value is
             # the number of units granted (see acquire/release).
@@ -125,28 +154,55 @@ class Resource:
                 f"on {self.name or 'resource'}"
             )
         self._in_use -= units
+        waiters = self._waiters
         if self.policy == "random":
-            while self._waiters:
-                eligible = [
-                    i
-                    for i, (_ev, want) in enumerate(self._waiters)
-                    if self._in_use + want <= self.capacity
-                ]
-                if not eligible:
-                    break
-                idx = eligible[int(self.sim.rng.integers(0, len(eligible)))]
-                ev, want = self._waiters[idx]
-                del self._waiters[idx]
+            if not waiters:
+                return
+            # Build the eligible set once, in waiter order, then shrink
+            # it incrementally.  Equivalent to re-filtering the whole
+            # queue after every grant (the old O(n^2) inner loop):
+            # eligibility only ever shrinks while ``_in_use`` grows, the
+            # candidate order is unchanged, and the rng draws see the
+            # same list lengths, so the grant sequence is identical.
+            avail = self.capacity - self._in_use
+            eligible = [(ev, want) for ev, want in waiters.items() if want <= avail]
+            rng_integers = self.sim.rng.integers
+            mx = -1  # max outstanding want; computed lazily on first use
+            while eligible:
+                ev, want = eligible.pop(int(rng_integers(0, len(eligible))))
+                del waiters[ev]
                 self._in_use += want
                 if self._in_use > self.high_water:
                     self.high_water = self._in_use
                 ev.succeed(want)
+                avail -= want
+                if not eligible or avail <= 0:
+                    # Nothing left to grant (wants are >= 1): done
+                    # without ever scanning for the max — the whole
+                    # loop for a capacity-1 pipe is one filter pass,
+                    # one draw, one grant.
+                    break
+                if mx < 0:
+                    mx = max(w for _e, w in eligible)
+                if mx > avail:
+                    # The grant made large requests ineligible: drop
+                    # them.  Skipped while every remaining want still
+                    # fits (the single-unit-waiters case).
+                    eligible = [e for e in eligible if e[1] <= avail]
+                    mx = max((w for _e, w in eligible), default=0)
             return
-        while self._waiters:
-            ev, want = self._waiters[0]
+        order = self._order
+        while order:
+            ev = order[0]
+            want = waiters.get(ev)
+            if want is None:
+                # Withdrawn by _abandon_acquire; discard lazily.
+                order.popleft()
+                continue
             if self._in_use + want > self.capacity:
                 break
-            self._waiters.popleft()
+            order.popleft()
+            del waiters[ev]
             self._in_use += want
             if self._in_use > self.high_water:
                 self.high_water = self._in_use

@@ -59,7 +59,8 @@ def engine_summary(stats: EngineStats) -> str:
         else float("inf")
     )
     return (
-        f"engine: {stats.events_scheduled} scheduled, "
+        f"engine: {stats.events_scheduled} scheduled "
+        f"({stats.fast_lane_events} fast-lane / {stats.heap_events} heap), "
         f"{stats.events_processed} processed "
         f"(peak heap {stats.peak_heap}) in {stats.wall_seconds:.3f}s wall "
         f"({rate:,.0f} ev/s)"

@@ -508,6 +508,8 @@ class TestEngineStats:
             "events_processed",
             "peak_heap",
             "wall_seconds",
+            "fast_lane_events",
+            "heap_events",
         }
 
     def test_timeout_reuse_avoids_new_schedules(self):

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Resource, Simulator, Store, TokenBucket
-from repro.sim.engine import SimulationError
+from repro.sim.engine import Interrupt, SimulationError
 
 
 @pytest.fixture
@@ -119,6 +119,130 @@ class TestResource:
             sim.process(user(h))
         sim.run()
         assert max(peak) <= capacity
+        assert res.in_use == 0
+
+    def test_try_acquire_claims_only_when_free_and_unqueued(self, sim):
+        res = Resource(sim, 2)
+        assert res.try_acquire(2)
+        assert res.in_use == 2
+        assert not res.try_acquire()  # full
+        waiter = res.acquire()
+        assert not waiter.triggered
+        res.release(2)
+        sim.run()
+        assert waiter.processed and res.in_use == 1
+        # One unit free, but someone queued earlier would be jumped:
+        res2 = Resource(sim, 1)
+        res2.try_acquire()
+        pending = res2.acquire()
+        assert not pending.triggered
+        assert not res2.try_acquire()  # would jump `pending`
+        with pytest.raises(ValueError):
+            res.try_acquire(3)
+
+
+class TestLongWaiterQueues:
+    """Regression tests for the O(n^2) release/abandon paths.
+
+    The old random-policy release rebuilt the full eligible list (and
+    indexed a deque, also O(n)) per grant; the old abandon path scanned
+    the waiter deque linearly.  Both are now bounded — a single release
+    granting N waiters and N abandons each run in (amortised) linear
+    time.  The wall-clock bounds are generous for CI noise; the old
+    code exceeds them by an order of magnitude at this queue length.
+    """
+
+    N = 20_000
+
+    def _queue_up(self, sim, policy):
+        res = Resource(sim, self.N, policy=policy)
+        assert res.try_acquire(self.N)
+        events = [res.acquire() for _ in range(self.N)]
+        assert res.queue_len == self.N
+        return res, events
+
+    @pytest.mark.parametrize("policy", ["fifo", "random"])
+    def test_bulk_release_grants_all_waiters_fast(self, policy):
+        import time
+
+        sim = Simulator()
+        res, events = self._queue_up(sim, policy)
+        t0 = time.perf_counter()
+        res.release(self.N)
+        elapsed = time.perf_counter() - t0
+        sim.run()
+        assert all(ev.processed for ev in events)
+        assert res.in_use == self.N and res.queue_len == 0
+        assert elapsed < 2.0, f"release of {self.N} waiters took {elapsed:.2f}s"
+
+    def test_random_policy_grant_sequence_matches_rebuild_reference(self):
+        # The incremental eligible list must draw and grant exactly as
+        # the old rebuild-from-scratch loop did: replay the reference
+        # algorithm with an identically-seeded rng and compare orders.
+        import numpy as np
+
+        for seed, capacity in [(1, 7), (2, 13), (3, 4)]:
+            sim = Simulator(seed=seed)
+            res = Resource(sim, capacity, policy="random")
+            assert res.try_acquire(capacity)
+            rnd = np.random.default_rng(seed + 99)
+            wants = [int(rnd.integers(1, capacity + 1)) for _ in range(50)]
+            order: list = []
+            events = []
+            for i, w in enumerate(wants):
+                ev = res.acquire(w)
+                ev.add_callback(lambda _e, i=i: order.append(i))
+                events.append(ev)
+            freed = capacity
+            res.release(freed)
+            sim.run()
+
+            # Reference: the pre-change algorithm on the same queue.
+            ref_rng = np.random.default_rng(seed)
+            waiters = [(i, w) for i, w in enumerate(wants)]
+            in_use = capacity - freed
+            ref_order = []
+            while waiters:
+                eligible = [
+                    k for k, (_i, w) in enumerate(waiters)
+                    if in_use + w <= capacity
+                ]
+                if not eligible:
+                    break
+                idx = eligible[int(ref_rng.integers(0, len(eligible)))]
+                i, w = waiters.pop(idx)
+                in_use += w
+                ref_order.append(i)
+            assert order == ref_order
+
+    def test_abandon_long_queue_is_fast_and_leak_free(self):
+        import time
+
+        sim = Simulator()
+        res = Resource(sim, 1)
+        assert res.try_acquire()
+        holders = []
+
+        def waiter():
+            try:
+                yield res.acquire()
+            except Interrupt:
+                return
+            res.release()
+
+        for _ in range(self.N):
+            holders.append(sim.process(waiter()))
+        sim.run(until=sim.now)  # let the kicks run so waiters are queued
+        assert res.queue_len == self.N
+        t0 = time.perf_counter()
+        for p in holders:
+            if p.is_alive:
+                p.interrupt("cancel")
+        elapsed = time.perf_counter() - t0
+        sim.run()
+        assert elapsed < 2.0, f"abandoning {self.N} waiters took {elapsed:.2f}s"
+        assert res.queue_len == 0
+        res.release()
         assert res.in_use == 0
 
 

@@ -1,0 +1,196 @@
+"""Differential test: two-lane scheduler vs the pure-heap reference.
+
+The two-lane kernel (``Simulator()``, the default) claims to be
+*order-identical by construction* to the single-heap kernel
+(``Simulator(two_lane=False)``).  These tests make the claim empirical:
+randomized event programs — timeouts, zero-delay storms, conditions,
+interrupts, resource contention under both arbitration policies,
+lightweight spawns — run on both kernels and must produce the same
+firing log: identical (time, label, value) triples in identical order.
+
+Because the log records *processing* order, not just outcomes, any
+reordering of same-instant events (the thing the fast lane could
+plausibly break) fails the comparison even when final state agrees.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Interrupt, Simulator
+from repro.sim.resources import Resource, Store
+
+
+def _run_program(two_lane: bool, seed: int) -> list:
+    """Build and run one randomized program; return its firing log."""
+    sim = Simulator(seed=12345, two_lane=two_lane)
+    rnd = random.Random(seed)
+    log: list = []
+
+    fifo = Resource(sim, capacity=rnd.randint(1, 3), name="fifo")
+    rand = Resource(sim, capacity=rnd.randint(1, 3), name="rand", policy="random")
+    store = Store(sim, capacity=4, name="store")
+    procs: list = []
+
+    def worker(wid: int, steps: int):
+        try:
+            yield from _worker_body(wid, steps)
+        except Interrupt as intr:
+            # A poke can land on any waiting step; where it lands is
+            # part of the firing order under test.
+            log.append((sim.now, "killed", wid, str(intr.cause)))
+        return wid
+
+    def _worker_body(wid: int, steps: int):
+        for s in range(steps):
+            action = rnd_actions[wid][s]
+            if action == "timeout":
+                delay = rnd_delays[wid][s]
+                yield sim.timeout(delay)
+                log.append((sim.now, "timeout", wid, s))
+            elif action == "zero-storm":
+                # Same-instant storm: several zero-delay timeouts racing.
+                yield sim.all_of([sim.timeout(0.0) for _ in range(4)])
+                log.append((sim.now, "storm", wid, s))
+            elif action == "fifo-res":
+                got = yield fifo.acquire()
+                log.append((sim.now, "fifo-acq", wid, s, got))
+                yield sim.timeout(rnd_delays[wid][s])
+                fifo.release()
+                log.append((sim.now, "fifo-rel", wid, s))
+            elif action == "rand-res":
+                got = yield rand.acquire()
+                log.append((sim.now, "rand-acq", wid, s, got))
+                yield sim.timeout(rnd_delays[wid][s])
+                rand.release()
+                log.append((sim.now, "rand-rel", wid, s))
+            elif action == "store":
+                yield store.put((wid, s))
+                item = yield store.get()
+                log.append((sim.now, "store", wid, s, item))
+            elif action == "any-of":
+                idx, val = yield sim.any_of(
+                    [sim.timeout(rnd_delays[wid][s]), sim.timeout(0.5)]
+                )
+                log.append((sim.now, "any-of", wid, s, idx))
+            elif action == "spawn":
+                def leg(tag):
+                    yield sim.timeout(rnd_delays[wid][s] / (tag + 1))
+                    log.append((sim.now, "leg", wid, s, tag))
+                yield sim.spawn(leg(0), leg(1))
+                log.append((sim.now, "spawn-join", wid, s))
+            elif action == "interruptible":
+                try:
+                    yield sim.timeout(5.0)
+                    log.append((sim.now, "survived", wid, s))
+                except Interrupt as intr:
+                    log.append((sim.now, "interrupted", wid, s, str(intr.cause)))
+
+    def interrupter():
+        # Fire mid-run and interrupt every still-alive worker waiting on
+        # something — exercises urgent events racing the fast lane.
+        yield sim.timeout(1.5)
+        for p in procs:
+            if p.is_alive:
+                p.interrupt(f"poke:{p.name}")
+                log.append((sim.now, "poked", p.name))
+
+    n_workers = rnd.randint(3, 6)
+    actions = [
+        "timeout", "zero-storm", "fifo-res", "rand-res",
+        "store", "any-of", "spawn", "interruptible",
+    ]
+    rnd_actions = [
+        [rnd.choice(actions) for _ in range(rnd.randint(3, 8))]
+        for _ in range(n_workers)
+    ]
+    rnd_delays = [
+        [rnd.choice([0.0, 0.0, 0.01, 0.1, 0.25, 1.0]) for _ in range(len(a))]
+        for a in rnd_actions
+    ]
+    for wid in range(n_workers):
+        procs.append(sim.process(worker(wid, len(rnd_actions[wid])), name=f"w{wid}"))
+    sim.process(interrupter(), name="interrupter")
+
+    def joiner():
+        for p in list(procs):
+            try:
+                value = yield p
+                log.append((sim.now, "joined", p.name, value))
+            except Interrupt:  # pragma: no cover - joiner never interrupted
+                pass
+        return "done"
+
+    sim.process(joiner(), name="joiner")
+    sim.run()
+    return [(round(t, 12),) + tuple(rest) for t, *rest in log]
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_two_lane_matches_pure_heap(seed):
+    ref = _run_program(two_lane=False, seed=seed)
+    fast = _run_program(two_lane=True, seed=seed)
+    assert ref == fast
+    assert len(ref) > 0  # the program actually did something
+
+
+def test_pure_heap_mode_disables_fast_lane():
+    sim = Simulator(two_lane=False)
+
+    def p():
+        yield sim.timeout(0.0)
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(p()))
+    assert sim.stats.fast_lane_events == 0
+    assert sim.stats.heap_events == sim.stats.events_scheduled
+
+
+def test_two_lane_routes_zero_delay_to_fast_lane():
+    sim = Simulator()
+
+    def p():
+        yield sim.timeout(0.0)
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(p()))
+    # Process kick + zero-delay timeout + completion all ride the lane;
+    # only the 1.0s timeout pays for the heap.
+    assert sim.stats.fast_lane_events >= 3
+    assert sim.stats.heap_events >= 1
+    assert (
+        sim.stats.fast_lane_events + sim.stats.heap_events
+        == sim.stats.events_scheduled
+    )
+
+
+def test_urgent_interrupt_beats_same_instant_fast_lane():
+    # An interrupt scheduled at the same instant as pending fast-lane
+    # events must still fire first (urgent events keep heap priority 0).
+    for two_lane in (False, True):
+        sim = Simulator(two_lane=two_lane)
+        order = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                order.append("interrupted")
+
+        def noisy():
+            for _ in range(3):
+                yield sim.timeout(0.0)
+                order.append("tick")
+
+        victim = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(0.0)
+            victim.interrupt("now")
+
+        sim.process(noisy())
+        sim.process(killer())
+        sim.run()
+        assert order.index("interrupted") <= 1, (two_lane, order)
