@@ -24,7 +24,16 @@ from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
-__all__ = ["FaultSpec", "Op", "Program", "generate"]
+__all__ = [
+    "FaultSpec",
+    "Op",
+    "Program",
+    "dir_path",
+    "generate",
+    "ns_path",
+    "private_path",
+    "scratch_path",
+]
 
 KB = 1024
 
@@ -35,13 +44,37 @@ def private_path(client: int) -> str:
     return f"/torture-private{client}"
 
 
+def scratch_path(client: int) -> str:
+    """Per-client scratch file: the truncate/remove/rename victim."""
+    return f"/torture-scratch{client}"
+
+
+def ns_path(slot: int) -> str:
+    """Shared namespace slot ``slot`` — a rename target name.
+
+    The slot *names* are shared across episodes, but each episode
+    assigns every slot to exactly one client (rotated by the seed, see
+    :meth:`Program.ns_slot_of`), so concurrent namespace traffic stays
+    single-writer and therefore checkable.
+    """
+    return f"/torture-ns{slot}"
+
+
+def dir_path(client: int) -> str:
+    """Per-client directory for mkdir/readdir traffic."""
+    return f"/torture-dir{client}"
+
+
 @dataclass(frozen=True)
 class Op:
     """One client-program step.
 
     ``kind`` is one of ``write`` (own bytes, tagged), ``read``,
     ``fsync``, ``reopen`` (close + open, drops close-to-open state),
-    ``lock`` / ``unlock`` (advisory byte-range), ``sleep``.
+    ``lock`` / ``unlock`` (advisory byte-range), ``sleep``; metadata
+    programs add ``truncate`` (``length`` holds the new size),
+    ``recreate`` (remove + create the same path), ``rename`` (``file``
+    → ``dest``), ``mkdir``, ``readdir`` and ``getattr``.
     """
 
     kind: str
@@ -51,6 +84,9 @@ class Op:
     tag: int = 0
     lock_kind: str = "write"
     delay: float = 0.0
+    #: rename destination (metadata programs only; "" otherwise keeps
+    #: old serialized programs loadable).
+    dest: str = ""
 
 
 @dataclass(frozen=True)
@@ -83,14 +119,26 @@ class Program:
     private_size: int
     ops: list[list[Op]] = field(default_factory=list)
     faults: list[FaultSpec] = field(default_factory=list)
+    #: True when the program exercises metadata/namespace op kinds.
+    metadata: bool = False
 
     # -- ownership ---------------------------------------------------------
+    def ns_slot_of(self, client: int) -> int:
+        """The shared namespace slot owned by ``client`` this episode.
+
+        Rotated by the seed so the slot *names* are contended across
+        episodes while staying single-owner within one.
+        """
+        return (client + self.seed) % self.n_clients
+
     def owner_of(self, path: str, offset: int) -> int:
         """The client allowed to write byte ``offset`` of ``path``."""
         if path == SHARED:
             return (offset // self.chunk) % self.n_clients
         for c in range(self.n_clients):
             if path == private_path(c):
+                return c
+            if path == scratch_path(c) or path == ns_path(self.ns_slot_of(c)):
                 return c
         raise ValueError(f"unknown torture file {path!r}")
 
@@ -99,7 +147,10 @@ class Program:
 
     @property
     def files(self) -> list[str]:
-        return [SHARED] + [private_path(c) for c in range(self.n_clients)]
+        paths = [SHARED] + [private_path(c) for c in range(self.n_clients)]
+        if self.metadata:
+            paths += [scratch_path(c) for c in range(self.n_clients)]
+        return paths
 
     @property
     def op_count(self) -> int:
@@ -116,6 +167,7 @@ class Program:
                 "private_size": self.private_size,
                 "ops": [[asdict(op) for op in track] for track in self.ops],
                 "faults": [asdict(f) for f in self.faults],
+                "metadata": self.metadata,
             },
             indent=2,
         )
@@ -131,6 +183,7 @@ class Program:
             private_size=raw["private_size"],
             ops=[[Op(**op) for op in track] for track in raw["ops"]],
             faults=[FaultSpec(**f) for f in raw["faults"]],
+            metadata=raw.get("metadata", False),
         )
 
     def without(self, drop_ops: set = frozenset(), drop_faults: set = frozenset()) -> "Program":
@@ -150,6 +203,23 @@ class Program:
 _OP_KINDS = ["write", "read", "fsync", "reopen", "lock", "sleep"]
 _OP_WEIGHTS = [0.40, 0.23, 0.12, 0.07, 0.13, 0.05]
 
+#: Metadata programs add namespace/attribute op kinds.  The weights are
+#: a separate universe: enabling ``metadata_ops`` deliberately changes
+#: every rng draw, which is why the flag defaults off — the pinned
+#: data-path regression seeds must keep their exact streams.
+_META_OP_KINDS = _OP_KINDS + [
+    "truncate",
+    "recreate",
+    "rename",
+    "mkdir",
+    "readdir",
+    "getattr",
+]
+_META_OP_WEIGHTS = [
+    0.28, 0.16, 0.09, 0.05, 0.09, 0.04,  # the data-path kinds
+    0.09, 0.05, 0.05, 0.04, 0.03, 0.03,  # the metadata kinds
+]
+
 _FAULT_KINDS = ["outage", "blackout", "nic_drop", "nic_delay"]
 _FAULT_WEIGHTS = [0.40, 0.20, 0.25, 0.15]
 
@@ -159,6 +229,7 @@ def generate(
     n_clients: int | None = None,
     ops_per_client: int | None = None,
     with_faults: bool = True,
+    metadata_ops: bool = False,
 ) -> Program:
     """The torture program for ``seed`` — pure function of its arguments."""
     rng = np.random.default_rng(seed)
@@ -171,6 +242,7 @@ def generate(
         chunk=chunk,
         shared_size=chunk * n * slots_per_client,
         private_size=chunk * int(rng.integers(1, 4)),
+        metadata=bool(metadata_ops),
     )
     next_tag = 1
 
@@ -198,12 +270,111 @@ def generate(
             length = int(rng.integers(1, span - (start - base) + 1))
             return path, start, start + length
 
+        # Metadata programs: current name of the client's scratch file
+        # (renames toggle it against the client's namespace slot) and
+        # the number of directories created so far.
+        cur_scratch = scratch_path(c)
+        slot_name = ns_path(prog.ns_slot_of(c))
+        ndirs = 0
+
+        def meta_rw_path(rng=rng, c=c):
+            """A read/fsync/reopen target including the scratch file."""
+            r = rng.random()
+            if r < 0.5:
+                return SHARED
+            if r < 0.8:
+                return private_path(c)
+            return cur_scratch
+
+        def own_range_meta(rng=rng, c=c, own_slots=own_slots):
+            """Like own_range, but a quarter of writes hit the scratch
+            file so truncate/recreate have bytes to resurrect."""
+            r = rng.random()
+            if r < 0.5:
+                slot = int(rng.choice(own_slots))
+                base, span, path = slot * chunk, chunk, SHARED
+            elif r < 0.75:
+                base, span, path = 0, prog.private_size, private_path(c)
+            else:
+                base, span, path = 0, prog.private_size, cur_scratch
+            start = base + int(rng.integers(0, span))
+            length = int(rng.integers(1, span - (start - base) + 1))
+            return path, start, start + length
+
         count = (
             int(ops_per_client)
             if ops_per_client is not None
             else int(rng.integers(6, 14))
         )
         for _ in range(count):
+            if metadata_ops:
+                kind = str(rng.choice(_META_OP_KINDS, p=_META_OP_WEIGHTS))
+                if kind == "write":
+                    path, start, end = own_range_meta()
+                    track.append(
+                        Op("write", path, start, end - start, tag=take_tag())
+                    )
+                elif kind == "read":
+                    path = meta_rw_path()
+                    size = prog.file_size(path)
+                    start = int(rng.integers(0, size))
+                    length = int(rng.integers(1, min(64 * KB, size - start) + 1))
+                    track.append(Op("read", path, start, length))
+                elif kind == "fsync":
+                    track.append(Op("fsync", meta_rw_path()))
+                elif kind == "reopen":
+                    track.append(Op("reopen", meta_rw_path()))
+                elif kind == "lock":
+                    # Locks stay on the stable files: a lock held on a
+                    # path that is then renamed/recreated could never be
+                    # released by its (path-keyed) unlock op.
+                    if held and rng.random() < 0.45:
+                        path, start, end = held.pop(int(rng.integers(len(held))))
+                        track.append(Op("unlock", path, start, end - start))
+                    else:
+                        path, start, end = own_range()
+                        lk = "write" if rng.random() < 0.7 else "read"
+                        track.append(
+                            Op("lock", path, start, end - start, lock_kind=lk)
+                        )
+                        held.append((path, start, end))
+                elif kind == "truncate":
+                    target = cur_scratch if rng.random() < 0.6 else private_path(c)
+                    new_size = int(rng.integers(0, prog.private_size + 1))
+                    track.append(Op("truncate", target, length=new_size))
+                elif kind == "recreate":
+                    track.append(Op("recreate", cur_scratch))
+                elif kind == "rename":
+                    other = (
+                        slot_name
+                        if cur_scratch == scratch_path(c)
+                        else scratch_path(c)
+                    )
+                    track.append(Op("rename", cur_scratch, dest=other))
+                    cur_scratch = other
+                elif kind == "mkdir":
+                    path = (
+                        dir_path(c) if ndirs == 0 else f"{dir_path(c)}/d{ndirs}"
+                    )
+                    track.append(Op("mkdir", path))
+                    ndirs += 1
+                elif kind == "readdir":
+                    if ndirs == 0:
+                        track.append(Op("mkdir", dir_path(c)))
+                        ndirs += 1
+                    else:
+                        track.append(Op("readdir", dir_path(c)))
+                elif kind == "getattr":
+                    r = rng.random()
+                    path = (
+                        SHARED
+                        if r < 0.4
+                        else (private_path(c) if r < 0.7 else cur_scratch)
+                    )
+                    track.append(Op("getattr", path))
+                else:
+                    track.append(Op("sleep", delay=float(rng.uniform(0.01, 0.15))))
+                continue
             kind = str(rng.choice(_OP_KINDS, p=_OP_WEIGHTS))
             if kind == "write":
                 path, start, end = own_range()
@@ -241,6 +412,8 @@ def generate(
             track.append(Op("unlock", path, start, end - start))
         track.append(Op("fsync", SHARED))
         track.append(Op("fsync", private_path(c)))
+        if metadata_ops:
+            track.append(Op("fsync", cur_scratch))
         prog.ops.append(track)
 
     if with_faults:

@@ -38,6 +38,7 @@ from repro.vfs.api import FsError, Payload
 
 __all__ = [
     "EpisodeResult",
+    "buggy_truncate_factory",
     "buggy_writeback_factory",
     "run_episode",
     "sweep",
@@ -124,6 +125,33 @@ def buggy_writeback_factory(dep, node):
         self.bytes_written += data.nbytes
 
     cl._writeback = types.MethodType(_writeback, cl)
+    return cl
+
+
+def buggy_truncate_factory(dep, node):
+    """Client factory reintroducing the pre-fix truncate bug.
+
+    Before the fix, ``truncate`` only dropped the path's cached
+    attributes: every open file kept its stale ``size``, its cached
+    pages above the cut, and its dirty ranges — so later reads served
+    resurrected bytes from local cache and later write-backs pushed
+    them back to the server.  A metadata-enabled sweep with this
+    factory must report truncate-resurrection — the checker-power
+    proof for this PR's headline fix.
+    """
+    import types
+
+    cl = dep.make_client(node)
+    if not hasattr(cl, "_open_paths"):  # native PVFS2 client: no cache
+        return cl
+
+    def truncate(self, path, size):
+        self._attr_cache.pop(path, None)  # the bug: this was the whole fix-less op
+        yield from self._call(
+            "truncate", {"path": path, "size": size, "callback": self._cb}
+        )
+
+    cl.truncate = types.MethodType(truncate, cl)
     return cl
 
 
@@ -261,6 +289,87 @@ def run_episode(
                                 files[op.file], op.offset, op.offset + op.length
                             )
                             outcome = "ok"
+                    elif op.kind == "truncate":
+                        # ``length`` holds the new size.  The model hooks
+                        # are error-aware (an unacked truncate may have
+                        # landed), so handle failures here rather than in
+                        # the generic except below.
+                        if not hasattr(cl, "truncate"):
+                            outcome = "skip"
+                        else:
+                            idx = model.on_trunc_start(c, op.file, op.length)
+                            try:
+                                yield from cl.truncate(op.file, op.length)
+                            except (FsError, rpc.RpcTimeout) as exc:
+                                model.on_trunc_error(c, op.file)
+                                outcome = f"err:{type(exc).__name__}"
+                            else:
+                                model.on_trunc_ack(op.file, idx, op.length)
+                                outcome = f"ok:{op.length}"
+                    elif op.kind == "recreate":
+                        if not hasattr(cl, "remove"):
+                            outcome = "skip"
+                        else:
+                            try:
+                                if op.file in files:
+                                    yield from cl.close(files.pop(op.file))
+                                    model.on_durable(c, op.file)
+                                yield from cl.remove(op.file)
+                                model.on_remove_ack(c, op.file)
+                                f = yield from cl.create(op.file)
+                                model.on_recreate_ack(c, op.file)
+                                files[op.file] = f
+                                outcome = "ok"
+                            except (FsError, rpc.RpcTimeout) as exc:
+                                model.on_ns_error(c, op.file, op.kind)
+                                outcome = f"err:{type(exc).__name__}"
+                    elif op.kind == "rename":
+                        if not hasattr(cl, "rename"):
+                            outcome = "skip"
+                        else:
+                            try:
+                                if op.file in files:
+                                    yield from cl.close(files.pop(op.file))
+                                    model.on_durable(c, op.file)
+                                yield from cl.rename(op.file, op.dest)
+                                model.on_rename_ack(c, op.file, op.dest)
+                                outcome = "ok"
+                            except (FsError, rpc.RpcTimeout) as exc:
+                                model.on_rename_error(c, op.file, op.dest)
+                                outcome = f"err:{type(exc).__name__}"
+                    elif op.kind == "mkdir":
+                        if not hasattr(cl, "mkdir"):
+                            outcome = "skip"
+                        else:
+                            try:
+                                yield from cl.mkdir(op.file)
+                                model.on_mkdir_ack(c, op.file)
+                                outcome = "ok"
+                            except (FsError, rpc.RpcTimeout) as exc:
+                                model.on_mkdir_error(c, op.file)
+                                outcome = f"err:{type(exc).__name__}"
+                    elif op.kind == "readdir":
+                        if not hasattr(cl, "readdir"):
+                            outcome = "skip"
+                        else:
+                            names = yield from cl.readdir(op.file)
+                            violations.extend(
+                                model.check_readdir(c, op.file, names)
+                            )
+                            outcome = f"ok:{len(names)}"
+                    elif op.kind == "getattr":
+                        if not hasattr(cl, "getattr"):
+                            outcome = "skip"
+                        else:
+                            attrs = yield from cl.getattr(op.file)
+                            violations.extend(
+                                model.check_getattr(c, op.file, attrs)
+                            )
+                            outcome = (
+                                f"ok:{int(attrs.size)}"
+                                if attrs is not None
+                                else "ok"
+                            )
                     else:  # pragma: no cover - generator never emits others
                         outcome = "skip"
                 except (FsError, rpc.RpcTimeout) as exc:
@@ -342,13 +451,32 @@ def run_episode(
             def verify():
                 if hasattr(verifier, "mount"):
                     yield from verifier.mount()
-                for path in program.files:
+                # The model's namespace, not ``program.files``: renames
+                # move files, removes kill them, and paths whose
+                # namespace history is ambiguous cannot be verified.
+                for path in model.final_paths():
                     f = yield from verifier.open(path, write=False)
-                    got = yield from verifier.read(f, 0, program.file_size(path))
+                    got = yield from verifier.read(
+                        f, 0, model.files[path].size
+                    )
                     violations.extend(
                         model.check_final(path, got.data, got.nbytes)
                     )
                     yield from verifier.close(f)
+                    if hasattr(verifier, "getattr"):
+                        attrs = yield from verifier.getattr(path)
+                        violations.extend(
+                            model.check_final_getattr(path, attrs)
+                        )
+                if hasattr(verifier, "readdir"):
+                    for dpath in sorted(model.dirs):
+                        try:
+                            names = yield from verifier.readdir(dpath)
+                        except (FsError, rpc.RpcTimeout):
+                            continue  # dir's very existence is uncertain
+                        violations.extend(
+                            model.check_readdir(-1, dpath, names)
+                        )
 
             vproc = sim.process(verify(), name="torture-verify")
             sim.run(until=sim.any_of([vproc, sim.timeout(_VERIFY_DEADLINE)]))
@@ -428,6 +556,7 @@ def sweep(
     progress=None,
     jobs: int = 1,
     cache=None,
+    metadata: bool = False,
 ) -> list[EpisodeResult]:
     """Run ``seeds`` consecutive seeds against each architecture.
 
@@ -444,12 +573,13 @@ def sweep(
     (workers rebuild it from a flag; arbitrary callables don't pickle),
     so any other ``client_factory`` forces the serial path.
     """
-    if client_factory is not None and client_factory is not buggy_writeback_factory:
+    picklable = (None, buggy_writeback_factory, buggy_truncate_factory)
+    if client_factory not in picklable:
         jobs = 1
     if jobs <= 1 and cache is None:
         results = []
         for seed in range(start_seed, start_seed + seeds):
-            program = generate(seed)
+            program = generate(seed, metadata_ops=metadata)
             for arch in arches:
                 res = run_episode(program, arch, client_factory=client_factory)
                 results.append(res)
@@ -459,9 +589,14 @@ def sweep(
 
     from repro.parallel import run_jobs, torture_spec
 
-    buggy = client_factory is buggy_writeback_factory
     specs = [
-        torture_spec(seed, arch, buggy_writeback=buggy)
+        torture_spec(
+            seed,
+            arch,
+            buggy_writeback=client_factory is buggy_writeback_factory,
+            buggy_truncate=client_factory is buggy_truncate_factory,
+            metadata=metadata,
+        )
         for seed in range(start_seed, start_seed + seeds)
         for arch in arches
     ]

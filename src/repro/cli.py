@@ -266,13 +266,18 @@ def _cmd_torture(args) -> int:
     import json
 
     from repro.check import generate, run_episode, shrink_program
-    from repro.check.runner import buggy_writeback_factory
+    from repro.check.runner import buggy_truncate_factory, buggy_writeback_factory
 
     arches = args.arch or ["direct-pnfs", "pnfs-2tier"]
-    factory = buggy_writeback_factory if args.buggy_writeback else None
+    factory = None
+    if args.buggy_writeback:
+        factory = buggy_writeback_factory
+    elif args.buggy_truncate:
+        factory = buggy_truncate_factory
+    metadata = args.metadata or args.buggy_truncate
 
     if args.replay is not None:
-        program = generate(args.replay)
+        program = generate(args.replay, metadata_ops=metadata)
         failing = None
         for arch in arches:
             res = run_episode(program, arch, client_factory=factory)
@@ -325,6 +330,7 @@ def _cmd_torture(args) -> int:
         client_factory=factory,
         progress=progress,
         jobs=default_jobs(args.jobs),
+        metadata=metadata,
     )
     reporter.close()
     failures = [r for r in results if r.violations]
@@ -459,6 +465,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reintroduce the pre-fix silent write-back loss "
         "(demonstrates checker power)",
+    )
+    p_torture.add_argument(
+        "--metadata",
+        action="store_true",
+        help="generate metadata/namespace op kinds (truncate, remove+"
+        "recreate, rename, mkdir/readdir, getattr) with coherence oracles",
+    )
+    p_torture.add_argument(
+        "--buggy-truncate",
+        action="store_true",
+        help="reintroduce the pre-fix attr-cache-only truncate (implies "
+        "--metadata; demonstrates checker power)",
     )
     p_torture.add_argument("--json", help="write failing programs as JSON")
     p_torture.add_argument(

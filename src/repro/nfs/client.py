@@ -63,6 +63,10 @@ class Nfs4Client(FileSystemClient):
         #: close-to-open style on the next open (Linux NFS behaviour —
         #: the reason repeated header reads during a build are free).
         self._inode_cache: dict[object, dict] = {}
+        #: Live open files by path: the set truncate/remove/rename must
+        #: reach to invalidate per-open page-cache state (Linux: those
+        #: ops act on the inode, which every open fd shares).
+        self._open_paths: dict[str, list[OpenFile]] = {}
         #: NFSv4 backchannel: delegation recalls (and, in the pNFS
         #: subclass, layout recalls) arrive here.
         from repro.rpc import RpcServer
@@ -154,6 +158,28 @@ class Nfs4Client(FileSystemClient):
         yield  # pragma: no cover
 
     # -- open-file state ---------------------------------------------------
+    def _register_open(self, f: OpenFile) -> None:
+        self._open_paths.setdefault(f.path, []).append(f)
+
+    def _unregister_open(self, f: OpenFile) -> None:
+        siblings = self._open_paths.get(f.path)
+        if siblings and f in siblings:
+            siblings.remove(f)
+            if not siblings:
+                del self._open_paths[f.path]
+
+    def _live_opens(self, path: str) -> list[OpenFile]:
+        return [f for f in self._open_paths.get(path, []) if not f.closed]
+
+    def _evict_inode_cache(self, path: str) -> None:
+        """Drop retained pages for ``path`` — its inode is gone (remove)
+        or was replaced (rename-over): a recreated file must never adopt
+        the dead file's cache on a close-to-open size/mtime match."""
+        for fh in [
+            fh for fh, e in self._inode_cache.items() if e.get("path") == path
+        ]:
+            del self._inode_cache[fh]
+
     def _init_state(self, f: OpenFile, fh, size: int, attrs=None) -> None:
         cache, valid = FileData(), IntervalSet()
         dirty, commit_needed = IntervalSet(), False
@@ -192,6 +218,7 @@ class Nfs4Client(FileSystemClient):
             last_read_end=None,
             open_mtime=attrs.mtime if attrs is not None else None,
             wrote=False,
+            trunc_gen=0,
         )
 
     # -- FileSystemClient ----------------------------------------------------
@@ -203,6 +230,7 @@ class Nfs4Client(FileSystemClient):
         result, _ = yield from self._call("open", {"path": path, "create": True})
         f = OpenFile(path=path, handle=result["fh"], client=self)
         self._init_state(f, result["fh"], 0)
+        self._register_open(f)
         self._attr_cache.pop(path, None)
         yield from self._post_open(f)
         return f
@@ -226,6 +254,7 @@ class Nfs4Client(FileSystemClient):
                 # round trip at all (the Linux NFSv4 fast path).
                 f = OpenFile(path=path, handle=held["fh"], client=self, writable=False)
                 self._init_state(f, held["fh"], held["attrs"].size, attrs=held["attrs"])
+                self._register_open(f)
                 yield from self._post_open(f)
                 f.state["local_open"] = True
                 return f
@@ -238,13 +267,20 @@ class Nfs4Client(FileSystemClient):
         attrs = result["attrs"]
         f = OpenFile(path=path, handle=result["fh"], client=self, writable=write)
         self._init_state(f, result["fh"], attrs.size if attrs else 0, attrs=attrs)
+        self._register_open(f)
         f.state["open_write"] = write
         yield from self._post_open(f)
         return f
 
     # -- reads ----------------------------------------------------------------
     def _fetch_block(self, f: OpenFile, start: int, end: int):
+        gen = f.state["trunc_gen"]
         _result, data = yield from self._io_read(f, start, end - start)
+        if f.state["trunc_gen"] != gen:
+            # The file was truncated while this fetch was on the wire:
+            # the bytes predate the cut and must not repopulate pages
+            # the truncation just invalidated.
+            return
         # The attribute-derived size is authoritative: a short read
         # below it is a sparse hole, zero-filled exactly as the VFS
         # does.  (Servers addressing holes cannot tell them from EOF.)
@@ -443,6 +479,15 @@ class Nfs4Client(FileSystemClient):
         state["dirty"].add(offset, end)
         state["size"] = max(state["size"], end)
         state["wrote"] = True
+        # Local change wins over cached attributes (Linux: i_size is
+        # authoritative for local writes): a getattr served from the
+        # attr cache within ac_timeo must not under-report an extend
+        # this client just made.
+        hit = self._attr_cache.get(f.path)
+        if hit is not None and hit[0].size < state["size"]:
+            patched = hit[0].copy()
+            patched.size = state["size"]
+            self._attr_cache[f.path] = (patched, hit[1])
         self._flush_full_blocks(f)
         return payload.nbytes
 
@@ -508,6 +553,7 @@ class Nfs4Client(FileSystemClient):
             # OpenFile and a post-reopen fsync reported clean — torture
             # seed 65 (write, reopen during a long outage, fsync).
             self._inode_cache[f.state["fh"]] = {
+                "path": f.path,
                 "cache": f.state["cache"],
                 "valid": f.state["valid"],
                 "size": f.state["size"],
@@ -516,6 +562,7 @@ class Nfs4Client(FileSystemClient):
                 "dirty": f.state["dirty"],
                 "commit_needed": f.state["commit_needed"],
             }
+            self._unregister_open(f)
         if not f.state.get("local_open"):
             yield from self._call(
                 "close",
@@ -528,10 +575,22 @@ class Nfs4Client(FileSystemClient):
     def getattr(self, path: str):
         hit = self._attr_cache.get(path)
         if hit is not None and hit[1] > self.sim.now:
-            return hit[0]
+            return self._clamp_local_size(path, hit[0])
         result, _ = yield from self._call("getattr", {"path": path})
         attrs = result["attrs"]
         self._attr_cache[path] = (attrs, self.sim.now + self.cfg.ac_timeo)
+        return self._clamp_local_size(path, attrs)
+
+    def _clamp_local_size(self, path: str, attrs):
+        """Local i_size is authoritative while the file is open here:
+        dirty extends not yet written back make both the server's and
+        the cached size under-report what this client already wrote."""
+        local = max(
+            (f.state["size"] for f in self._live_opens(path)), default=None
+        )
+        if local is not None and attrs is not None and attrs.size < local:
+            attrs = attrs.copy()
+            attrs.size = local
         return attrs
 
     def setattr(self, path: str, mode=None):
@@ -550,9 +609,10 @@ class Nfs4Client(FileSystemClient):
         yield from self._call("remove", {"path": path})
         self._attr_cache.pop(path, None)
         self._delegations.pop(path, None)
-        # The path's inode is gone; drop any retained pages for it.
-        # (Handles are stable per object, so stale entries are only a
-        # memory concern, but removal is the natural eviction point.)
+        # The path's inode is gone: drop any retained pages for it, or a
+        # recreated file of the same size could adopt the dead file's
+        # cache on the close-to-open size/mtime match.
+        self._evict_inode_cache(path)
 
     def rename(self, old: str, new: str):
         yield from self._call("rename", {"old": old, "new": new})
@@ -560,10 +620,59 @@ class Nfs4Client(FileSystemClient):
         self._attr_cache.pop(new, None)
         self._delegations.pop(old, None)
         self._delegations.pop(new, None)
+        # The rename target's inode (if any) was replaced: its retained
+        # pages must die with it.  The renamed file's own cache follows
+        # the inode to its new name, as do live open handles.
+        self._evict_inode_cache(new)
+        for entry in self._inode_cache.values():
+            if entry.get("path") == old:
+                entry["path"] = new
+        for f in self._open_paths.pop(old, []):
+            f.path = new
+            self._open_paths.setdefault(new, []).append(f)
 
     def truncate(self, path: str, size: int):
-        yield from self._call("truncate", {"path": path, "size": size})
-        self._attr_cache.pop(path, None)
+        open_files = self._live_opens(path)
+        # Wait out in-flight write-backs first (Linux truncate blocks on
+        # PageWriteback): a WRITE completing after the cut would land
+        # pre-truncate bytes back on the server.
+        for f in open_files:
+            while f.state["inflight"]:
+                procs, f.state["inflight"] = f.state["inflight"], []
+                yield self.sim.all_of(procs)
+        self._delegations.pop(path, None)
+        result, _ = yield from self._call(
+            "truncate", {"path": path, "size": size, "callback": self._cb}
+        )
+        # Invalidate/clip every open handle for the path: stale
+        # ``state["size"]`` would keep serving cached pages beyond the
+        # new EOF, and ``dirty`` ranges past the cut would be written
+        # back later, resurrecting the truncated bytes server-side.
+        big = 1 << 62
+        for f in open_files:
+            st = f.state
+            st["size"] = size
+            st["trunc_gen"] += 1  # in-flight fetches discard their data
+            st["cache"].truncate(size)
+            st["valid"].remove(size, big)
+            st["dirty"].remove(size, big)
+            st["flushing"].remove(size, big)
+            st["ra_issued"].remove(size, big)
+            st["last_read_end"] = None
+        # Retained close-to-open caches are clipped, not evicted: dirty
+        # ranges below the cut are still owed to the server.
+        for entry in self._inode_cache.values():
+            if entry.get("path") == path and entry["size"] > size:
+                entry["size"] = size
+                entry["cache"].truncate(size)
+                entry["valid"].remove(size, big)
+                if entry.get("dirty"):
+                    entry["dirty"].remove(size, big)
+        attrs = (result or {}).get("attrs")
+        if attrs is not None:
+            self._attr_cache[path] = (attrs, self.sim.now + self.cfg.ac_timeo)
+        else:
+            self._attr_cache.pop(path, None)
 
     # -- byte-range locks ----------------------------------------------------
     def _lock_owner(self, f: OpenFile):

@@ -28,7 +28,7 @@ from repro.nfs.config import NfsConfig
 from repro.rpc import RpcServer
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
-from repro.vfs.api import FileSystemClient, OpenFile
+from repro.vfs.api import FileSystemClient, FsError, OpenFile
 
 __all__ = ["Nfs4Server"]
 
@@ -238,6 +238,21 @@ class Nfs4Server:
         yield  # pragma: no cover
 
     # -- delegation / lease state machinery ---------------------------------
+    def _cb_call(self, callback, proc, args):
+        """Backchannel RPC with the server's bounded retry budget.
+
+        A client that cannot be reached must not park server-side work
+        forever: the state being recalled is already revoked in the
+        server's tables, so when the callback exhausts its retries the
+        revocation simply stands.
+        """
+        try:
+            yield from rpc.call(
+                self.node, callback, proc, args, policy=self.cfg.rpc_policy
+            )
+        except (rpc.RpcTimeout, FsError):
+            pass
+
     def recall_read_delegations(self, fh, exclude=None):
         """Generator: CB_RECALL outstanding read delegations on ``fh``.
 
@@ -256,11 +271,8 @@ class Nfs4Server:
                 continue
             procs.append(
                 self.sim.process(
-                    rpc.call(
-                        self.node,
-                        cb,
-                        "cb_recall_delegation",
-                        {"fh": fh, "stateid": stateid},
+                    self._cb_call(
+                        cb, "cb_recall_delegation", {"fh": fh, "stateid": stateid}
                     )
                 )
             )
@@ -338,5 +350,30 @@ class Nfs4Server:
         return None, None
 
     def _h_truncate(self, args, payload):
-        yield from self.backend.truncate(args["path"], args["size"])
-        return None, None
+        path = args["path"]
+        # A truncate conflicts with outstanding read delegations exactly
+        # as a writer OPEN does: holders could otherwise keep serving
+        # stale size and pre-truncate pages locally.  Filehandles are
+        # resolved through the open-file table (a delegation can only
+        # exist for a file this server has opened).
+        # Recalls are fired *without blocking the truncate*: a recall is
+        # a backchannel round trip that can outlive this client's RPC
+        # patience, and a handler parked on it would be abandoned and
+        # re-executed on retransmission — an exactly-once violation the
+        # torture harness caught.  Real servers answer the conflicting
+        # op with NFS4ERR_DELAY rather than blocking; firing the recall
+        # asynchronously models the same non-blocking property.
+        for fh, f in list(self._open_files.items()):
+            if f.path == path and self._read_delegations.get(fh):
+                self.sim.process(
+                    self.recall_read_delegations(
+                        fh, exclude=args.get("callback")
+                    ),
+                    name=f"{self.name}.truncate-recall",
+                )
+        yield from self.backend.truncate(path, args["size"])
+        # Reply with post-truncate attributes so the client can refresh
+        # its attribute cache deterministically (size and bumped mtime)
+        # instead of waiting out ac_timeo on a stale entry.
+        attrs = yield from self.backend.getattr(path)
+        return {"attrs": attrs}, None

@@ -48,13 +48,21 @@ def figure_cell_spec(
     }
 
 
-def torture_spec(seed: int, arch: str, buggy_writeback: bool = False) -> dict:
+def torture_spec(
+    seed: int,
+    arch: str,
+    buggy_writeback: bool = False,
+    buggy_truncate: bool = False,
+    metadata: bool = False,
+) -> dict:
     """Spec for one torture episode (seed x architecture)."""
     return {
         "kind": "torture",
         "seed": seed,
         "arch": arch,
         "buggy_writeback": buggy_writeback,
+        "buggy_truncate": buggy_truncate,
+        "metadata": metadata,
     }
 
 
@@ -86,10 +94,18 @@ def _run_figure_cell(spec: dict):
 
 def _run_torture(spec: dict):
     from repro.check.program import generate
-    from repro.check.runner import buggy_writeback_factory, run_episode
+    from repro.check.runner import (
+        buggy_truncate_factory,
+        buggy_writeback_factory,
+        run_episode,
+    )
 
-    program = generate(spec["seed"])
-    factory = buggy_writeback_factory if spec.get("buggy_writeback") else None
+    program = generate(spec["seed"], metadata_ops=spec.get("metadata", False))
+    factory = None
+    if spec.get("buggy_writeback"):
+        factory = buggy_writeback_factory
+    elif spec.get("buggy_truncate"):
+        factory = buggy_truncate_factory
     return run_episode(program, spec["arch"], client_factory=factory)
 
 

@@ -107,8 +107,7 @@ class PnfsMetadataServer(Nfs4Server):
                 continue
             procs.append(
                 self.sim.process(
-                    rpc.call(
-                        self.node,
+                    self._cb_call(
                         callback,
                         "cb_layoutrecall",
                         {"fh": fh, "stateid": layout.stateid},
@@ -125,13 +124,24 @@ class PnfsMetadataServer(Nfs4Server):
 
     # -- conflicting metadata ops trigger recalls ------------------------------
     def _h_truncate(self, args, payload):
-        entry_fh = None
-        for fh in list(self._issued):
-            # Recall conservatively: we only know paths at this layer for
-            # open files; match by backend handle when the client passed it.
-            if args.get("fh") is not None and fh == args["fh"]:
-                entry_fh = fh
-        if entry_fh is not None:
-            yield from self.recall_layouts(entry_fh)
+        # Truncate invalidates issued layouts: resolve the path to its
+        # filehandle(s) through the open-file table (layouts are only
+        # issued against handles this server has opened) and recall
+        # every grant.  The old fh-only match never fired — clients
+        # send path-based truncates — so stale layouts survived the
+        # cut.  Recalls run detached from this handler (see the base
+        # class's truncate-recall note): the grants leave ``_issued``
+        # the moment the recall process starts, and a holder that
+        # cannot be reached is simply revoked.
+        for fh, f in list(self._open_files.items()):
+            if f.path == args["path"] and fh in self._issued:
+                self.sim.process(
+                    self.recall_layouts(fh), name=f"{self.name}.layout-recall"
+                )
+        if args.get("fh") is not None and args["fh"] in self._issued:
+            self.sim.process(
+                self.recall_layouts(args["fh"]),
+                name=f"{self.name}.layout-recall",
+            )
         result = yield from super()._h_truncate(args, payload)
         return result

@@ -269,4 +269,8 @@ class MetadataServer:
         ]
         yield self.sim.all_of(procs)
         entry.attrs.size = size
+        # Deterministic attribute bump: truncate is a metadata change,
+        # so clients revalidating by mtime must see it move.
+        entry.attrs.mtime = self.sim.now
+        entry.attrs.ctime = self.sim.now
         return None, None

@@ -34,6 +34,7 @@ __all__ = [
     "FileAttributes",
     "FileSystemClient",
     "FsError",
+    "InvalidArgument",
     "IsDirectory",
     "NoEntry",
     "NotDirectory",
@@ -74,6 +75,11 @@ class AccessDenied(FsError):
 
 class StaleHandle(FsError):
     """Filehandle no longer refers to a live object (ESTALE)."""
+
+
+class InvalidArgument(FsError):
+    """Operation arguments are structurally invalid (EINVAL) — e.g.
+    renaming a directory into one of its own descendants."""
 
 
 # --------------------------------------------------------------------------

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.sim.engine import Simulator
 from repro.vfs.api import (
     FileSystemClient,
+    FsError,
     IsDirectory,
     OpenFile,
     Payload,
@@ -127,7 +128,14 @@ class LocalClient(FileSystemClient):
 
     def rename(self, old: str, new: str):
         yield from self._tick()
-        self.fs.namespace.rename(old, new, now=self.sim.now)
+        try:
+            victim = self.fs.namespace.resolve(new)
+        except FsError:
+            victim = None
+        entry = self.fs.namespace.rename(old, new, now=self.sim.now)
+        if victim is not None and victim is not entry:
+            # Renamed-over target: its contents die with its handle.
+            self.fs.contents.pop(victim.handle, None)
 
     def truncate(self, path: str, size: int):
         yield from self._tick()
@@ -136,6 +144,8 @@ class LocalClient(FileSystemClient):
             raise IsDirectory(path)
         self.fs.data_for(entry.handle).truncate(size)
         entry.attrs.size = size
+        entry.attrs.mtime = self.sim.now
+        entry.attrs.ctime = self.sim.now
 
     def setattr(self, path: str, mode=None):
         yield from self._tick()

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.vfs.api import (
     Exists,
     FileAttributes,
+    InvalidArgument,
     IsDirectory,
     NoEntry,
     NotDirectory,
@@ -144,11 +145,29 @@ class Namespace:
         entry = self.resolve(old)
         new_parent, new_leaf = self.resolve_parent(new)
         assert new_parent.children is not None
+        if entry.is_dir:
+            # Renaming a directory under itself would detach a cycle
+            # from the tree (EINVAL, as rename(2) specifies).
+            node: Optional[NsEntry] = new_parent
+            while node is not None:
+                if node is entry:
+                    raise InvalidArgument(f"rename {old!r} into itself: {new!r}")
+                node = node.parent
         existing = new_parent.children.get(new_leaf)
+        if existing is entry:
+            # Renaming a path onto itself is a no-op (POSIX rename(2));
+            # falling through would drop the entry from _by_handle.
+            return entry
         if existing is not None:
             if existing.is_dir:
                 raise Exists(new)
+            if entry.is_dir:
+                # A directory cannot replace a file (ENOTDIR per
+                # rename(2)); silently unlinking the file here would
+                # lose it without any remove ever being issued.
+                raise NotDirectory(new)
             del self._by_handle[existing.handle]
+            existing.parent = None
         old_parent, old_leaf = self.resolve_parent(old)
         assert old_parent.children is not None
         del old_parent.children[old_leaf]
